@@ -1,0 +1,296 @@
+//! Baseline CL resource managers the paper compares Venn against (§5.1):
+//!
+//! * **Random matching** — what Apple/Meta/Google-style infrastructures
+//!   effectively do. The paper strengthens it: instead of re-rolling per
+//!   device, jobs are scheduled in a *randomized order*, which reduces
+//!   round abortions under contention. Both flavours are available.
+//! * **FIFO** — first-submitted job first.
+//! * **SRSF** — shortest remaining service first, the strongest classical
+//!   baseline (total remaining device-rounds, smallest first).
+//!
+//! All baselines share one engine, [`BaselineScheduler`], which implements
+//! the same [`Scheduler`] trait as [`venn_core::VennScheduler`], so the
+//! simulator can swap them freely.
+//!
+//! # Examples
+//!
+//! ```
+//! use venn_baselines::BaselineScheduler;
+//! use venn_core::{Capacity, DeviceId, DeviceInfo, JobId, Request, ResourceSpec, Scheduler};
+//!
+//! let mut srsf = BaselineScheduler::srsf();
+//! srsf.submit(Request::new(JobId::new(1), ResourceSpec::any(), 4, 400), 0);
+//! srsf.submit(Request::new(JobId::new(2), ResourceSpec::any(), 4, 8), 0);
+//! let d = DeviceInfo::new(DeviceId::new(1), Capacity::new(0.5, 0.5));
+//! // Job 2 has far less remaining service, so it is served first.
+//! assert_eq!(srsf.assign(&d, 1), Some(JobId::new(2)));
+//! ```
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use venn_core::{DeviceInfo, JobId, Request, Scheduler, SimTime};
+
+/// Scheduling policy of a [`BaselineScheduler`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    /// Serve jobs in a per-job random order fixed at submission (the
+    /// paper's optimized random baseline).
+    RandomOrder,
+    /// Pick uniformly among eligible jobs per device (naive random).
+    RandomPerDevice,
+    /// First submitted, first served.
+    Fifo,
+    /// Smallest total remaining service first.
+    Srsf,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    request: Request,
+    pending: u32,
+    submit_time: SimTime,
+    /// Random priority drawn at submission (RandomOrder policy).
+    lottery: u64,
+}
+
+/// One engine implementing all three baseline policies.
+///
+/// Construct via [`BaselineScheduler::random_order`],
+/// [`BaselineScheduler::random_per_device`], [`BaselineScheduler::fifo`], or
+/// [`BaselineScheduler::srsf`].
+#[derive(Debug)]
+pub struct BaselineScheduler {
+    policy: Policy,
+    entries: HashMap<JobId, Entry>,
+    rng: StdRng,
+    name: &'static str,
+}
+
+impl BaselineScheduler {
+    fn with_policy(policy: Policy, seed: u64, name: &'static str) -> Self {
+        BaselineScheduler {
+            policy,
+            entries: HashMap::new(),
+            rng: StdRng::seed_from_u64(seed),
+            name,
+        }
+    }
+
+    /// The paper's optimized random baseline: jobs are served in a random
+    /// but *fixed* order, re-drawn per request.
+    pub fn random_order(seed: u64) -> Self {
+        Self::with_policy(Policy::RandomOrder, seed, "random")
+    }
+
+    /// Naive random matching: each device picks uniformly among eligible
+    /// jobs.
+    pub fn random_per_device(seed: u64) -> Self {
+        Self::with_policy(Policy::RandomPerDevice, seed, "random-per-device")
+    }
+
+    /// First-in-first-out job order.
+    pub fn fifo() -> Self {
+        Self::with_policy(Policy::Fifo, 0, "fifo")
+    }
+
+    /// Shortest remaining service first.
+    pub fn srsf() -> Self {
+        Self::with_policy(Policy::Srsf, 0, "srsf")
+    }
+
+    /// Number of jobs with an active request.
+    pub fn active_jobs(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Candidate jobs for `device` ordered by the policy.
+    fn ordered_candidates(&mut self, device: &DeviceInfo) -> Vec<JobId> {
+        let mut eligible: Vec<(&JobId, &Entry)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.pending > 0 && e.request.spec.is_eligible(device.capacity()))
+            .collect();
+        match self.policy {
+            Policy::RandomPerDevice => {
+                if eligible.is_empty() {
+                    return Vec::new();
+                }
+                eligible.sort_by_key(|(id, _)| **id); // determinism before sampling
+                let pick = self.rng.gen_range(0..eligible.len());
+                return vec![*eligible[pick].0];
+            }
+            Policy::RandomOrder => {
+                eligible.sort_by_key(|(id, e)| (e.lottery, **id));
+            }
+            Policy::Fifo => {
+                eligible.sort_by_key(|(id, e)| (e.submit_time, **id));
+            }
+            Policy::Srsf => {
+                eligible.sort_by_key(|(id, e)| (e.request.total_remaining, e.submit_time, **id));
+            }
+        }
+        eligible.into_iter().map(|(id, _)| *id).collect()
+    }
+}
+
+impl Scheduler for BaselineScheduler {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn submit(&mut self, request: Request, now: SimTime) {
+        let lottery = self.rng.gen();
+        self.entries.insert(
+            request.job,
+            Entry {
+                pending: request.demand,
+                request,
+                submit_time: now,
+                lottery,
+            },
+        );
+    }
+
+    fn withdraw(&mut self, job: JobId, _now: SimTime) {
+        self.entries.remove(&job);
+    }
+
+    fn add_demand(&mut self, job: JobId, count: u32, _now: SimTime) {
+        if let Some(e) = self.entries.get_mut(&job) {
+            e.pending = e.pending.saturating_add(count);
+        }
+    }
+
+    fn assign(&mut self, device: &DeviceInfo, _now: SimTime) -> Option<JobId> {
+        let id = self.ordered_candidates(device).into_iter().next()?;
+        let e = self.entries.get_mut(&id).expect("candidate exists");
+        e.pending -= 1;
+        Some(id)
+    }
+
+    fn pending_demand(&self, job: JobId) -> Option<u32> {
+        self.entries.get(&job).map(|e| e.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venn_core::{Capacity, DeviceId, ResourceSpec};
+
+    fn dev(id: u64) -> DeviceInfo {
+        DeviceInfo::new(DeviceId::new(id), Capacity::new(0.5, 0.5))
+    }
+
+    fn req(job: u64, demand: u32, total: u64) -> Request {
+        Request::new(JobId::new(job), ResourceSpec::any(), demand, total)
+    }
+
+    #[test]
+    fn fifo_serves_in_submission_order() {
+        let mut s = BaselineScheduler::fifo();
+        s.submit(req(1, 1, 100), 0);
+        s.submit(req(2, 1, 1), 5);
+        assert_eq!(s.assign(&dev(1), 6), Some(JobId::new(1)));
+        assert_eq!(s.assign(&dev(2), 6), Some(JobId::new(2)));
+    }
+
+    #[test]
+    fn srsf_serves_smallest_remaining_service() {
+        let mut s = BaselineScheduler::srsf();
+        s.submit(req(1, 1, 100), 0);
+        s.submit(req(2, 1, 1), 5);
+        assert_eq!(s.assign(&dev(1), 6), Some(JobId::new(2)));
+    }
+
+    #[test]
+    fn random_order_is_fixed_within_request() {
+        let mut s = BaselineScheduler::random_order(42);
+        s.submit(req(1, 5, 5), 0);
+        s.submit(req(2, 5, 5), 0);
+        let first = s.assign(&dev(1), 1).unwrap();
+        // The same job keeps winning until its demand is exhausted.
+        for i in 2..=5 {
+            assert_eq!(s.assign(&dev(i), 1), Some(first));
+        }
+        let other = s.assign(&dev(6), 1).unwrap();
+        assert_ne!(other, first);
+    }
+
+    #[test]
+    fn random_per_device_spreads_assignments() {
+        let mut s = BaselineScheduler::random_per_device(7);
+        s.submit(req(1, 100, 100), 0);
+        s.submit(req(2, 100, 100), 0);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..50 {
+            seen.insert(s.assign(&dev(i), 1).unwrap());
+        }
+        assert_eq!(seen.len(), 2, "both jobs should receive devices");
+    }
+
+    #[test]
+    fn ineligible_devices_are_rejected() {
+        let mut s = BaselineScheduler::fifo();
+        s.submit(
+            Request::new(JobId::new(1), ResourceSpec::new(0.9, 0.9), 1, 1),
+            0,
+        );
+        assert_eq!(s.assign(&dev(1), 1), None);
+    }
+
+    #[test]
+    fn demand_is_decremented_and_restored() {
+        let mut s = BaselineScheduler::fifo();
+        s.submit(req(1, 1, 1), 0);
+        assert_eq!(s.assign(&dev(1), 1), Some(JobId::new(1)));
+        assert_eq!(s.assign(&dev(2), 1), None);
+        s.add_demand(JobId::new(1), 1, 2);
+        assert_eq!(s.pending_demand(JobId::new(1)), Some(1));
+        assert_eq!(s.assign(&dev(3), 2), Some(JobId::new(1)));
+    }
+
+    #[test]
+    fn withdraw_removes_request() {
+        let mut s = BaselineScheduler::srsf();
+        s.submit(req(1, 5, 5), 0);
+        assert_eq!(s.active_jobs(), 1);
+        s.withdraw(JobId::new(1), 1);
+        assert_eq!(s.active_jobs(), 0);
+        assert_eq!(s.assign(&dev(1), 2), None);
+        assert_eq!(s.pending_demand(JobId::new(1)), None);
+    }
+
+    #[test]
+    fn unknown_job_operations_are_harmless() {
+        let mut s = BaselineScheduler::fifo();
+        s.withdraw(JobId::new(9), 0);
+        s.add_demand(JobId::new(9), 2, 0);
+        assert_eq!(s.pending_demand(JobId::new(9)), None);
+    }
+
+    #[test]
+    fn resubmission_redraws_lottery_deterministically() {
+        let mut a = BaselineScheduler::random_order(1);
+        let mut b = BaselineScheduler::random_order(1);
+        for s in [&mut a, &mut b] {
+            s.submit(req(1, 1, 1), 0);
+            s.submit(req(2, 1, 1), 0);
+        }
+        assert_eq!(a.assign(&dev(1), 1), b.assign(&dev(1), 1));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(BaselineScheduler::fifo().name(), "fifo");
+        assert_eq!(BaselineScheduler::srsf().name(), "srsf");
+        assert_eq!(BaselineScheduler::random_order(0).name(), "random");
+        assert_eq!(
+            BaselineScheduler::random_per_device(0).name(),
+            "random-per-device"
+        );
+    }
+}

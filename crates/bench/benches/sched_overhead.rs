@@ -1,0 +1,93 @@
+//! Criterion bench behind Figure 10: latency of one scheduling trigger
+//! (Algorithm 1 rebuild) and of one device assignment, as the number of
+//! jobs and job groups scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use venn_core::{
+    Capacity, DeviceId, DeviceInfo, JobId, Request, ResourceSpec, Scheduler, VennConfig,
+    VennScheduler,
+};
+
+fn loaded_scheduler(jobs: usize, groups: usize) -> VennScheduler {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut venn = VennScheduler::new(VennConfig::default());
+    for i in 0..4_000u64 {
+        let cap = Capacity::new(rng.gen(), rng.gen());
+        venn.on_check_in(&DeviceInfo::new(DeviceId::new(i), cap), i);
+    }
+    let specs: Vec<ResourceSpec> = (0..groups)
+        .map(|g| {
+            let t = g as f64 / groups as f64 * 0.9;
+            ResourceSpec::new(t, t * 0.8)
+        })
+        .collect();
+    for j in 0..jobs {
+        venn.submit(
+            Request::new(
+                JobId::new(j as u64),
+                specs[j % groups],
+                1 + (j % 50) as u32,
+                100 + j as u64,
+            ),
+            5_000,
+        );
+    }
+    venn
+}
+
+fn bench_rebuild_vs_jobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rebuild_vs_jobs");
+    for jobs in [100usize, 500, 1_000] {
+        let mut venn = loaded_scheduler(jobs, 20);
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, _| {
+            let mut t = 10_000u64;
+            b.iter(|| {
+                t += 1;
+                venn.rebuild_now(t);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rebuild_vs_groups(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rebuild_vs_groups");
+    for groups in [20usize, 60, 100] {
+        let mut venn = loaded_scheduler(500, groups);
+        group.bench_with_input(BenchmarkId::from_parameter(groups), &groups, |b, _| {
+            let mut t = 10_000u64;
+            b.iter(|| {
+                t += 1;
+                venn.rebuild_now(t);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_assign(c: &mut Criterion) {
+    let mut venn = loaded_scheduler(500, 20);
+    let device = DeviceInfo::new(DeviceId::new(99_999), Capacity::new(0.9, 0.9));
+    c.bench_function("assign_one_device", |b| {
+        let mut t = 10_000u64;
+        b.iter(|| {
+            t += 1;
+            let job = venn.assign(&device, t);
+            // Return the demand so the scheduler never drains.
+            if let Some(j) = job {
+                venn.add_demand(j, 1, t);
+            }
+            job
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_rebuild_vs_jobs,
+    bench_rebuild_vs_groups,
+    bench_assign
+);
+criterion_main!(benches);

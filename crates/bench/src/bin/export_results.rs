@@ -1,0 +1,49 @@
+//! Dumps per-job completion records of one experiment as CSV for external
+//! plotting — every scheduler on the same workload, one file per scheduler
+//! on stdout separated by headers.
+//!
+//! Run: `cargo run --release -p venn-bench --bin export_results [seed]`
+
+use venn_bench::{run, Experiment, SchedKind};
+use venn_metrics::csv::Csv;
+use venn_traces::WorkloadKind;
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("seed"))
+        .unwrap_or(42);
+    let exp = Experiment::paper_default(WorkloadKind::Even, None, seed);
+    for kind in SchedKind::TABLE1 {
+        let result = run(&exp, kind);
+        let mut csv = Csv::new(&[
+            "job",
+            "category",
+            "rounds",
+            "demand",
+            "arrival_ms",
+            "finish_ms",
+            "jct_ms",
+            "sched_delay_ms",
+            "response_ms",
+            "rounds_aborted",
+        ]);
+        for (i, (rec, plan)) in result.records.iter().zip(&exp.workload.jobs).enumerate() {
+            csv.row(&[
+                i.to_string(),
+                plan.category.label().to_string(),
+                plan.rounds.to_string(),
+                plan.demand.to_string(),
+                rec.arrival_ms.to_string(),
+                rec.finish_ms.map(|v| v.to_string()).unwrap_or_default(),
+                rec.jct_ms().map(|v| v.to_string()).unwrap_or_default(),
+                rec.sched_delay_ms.to_string(),
+                rec.response_ms.to_string(),
+                rec.rounds_aborted.to_string(),
+            ]);
+        }
+        println!("# scheduler: {}", result.scheduler_name);
+        print!("{csv}");
+        println!();
+    }
+}

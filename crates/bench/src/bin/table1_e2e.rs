@@ -1,0 +1,38 @@
+//! Table 1 — average-JCT improvement over Random matching for FIFO, SRSF,
+//! and Venn across the five workload scenarios (Even/Small/Large/Low/High).
+//!
+//! Paper reference values: Venn 1.63×–1.88×, always ahead of FIFO and SRSF.
+//!
+//! Run: `cargo run --release -p venn-bench --bin table1_e2e [seeds]`
+
+use venn_bench::{mean_speedups_detailed, Experiment, SchedKind};
+use venn_metrics::Table;
+use venn_traces::WorkloadKind;
+
+fn main() {
+    let seeds: Vec<u64> = match std::env::args().nth(1) {
+        Some(n) => (0..n.parse::<u64>().expect("seed count")).map(|i| 100 + i).collect(),
+        None => vec![100, 101, 102],
+    };
+    let kinds = [SchedKind::Fifo, SchedKind::Srsf, SchedKind::Venn];
+    let mut table = Table::new(
+        "Table 1: avg JCT speed-up over Random matching",
+        &["FIFO", "SRSF", "Venn"],
+    );
+    for wk in WorkloadKind::ALL {
+        let (speedups, completion) = mean_speedups_detailed(
+            |seed| Experiment::paper_default(wk, None, seed),
+            &kinds,
+            &seeds,
+        );
+        table.row(wk.label(), &speedups);
+        eprintln!(
+            "{} done: speedups {:?} completion {:?}",
+            wk.label(),
+            speedups,
+            completion
+        );
+    }
+    println!("{table}");
+    println!("(averaged over {} seeds; paper: Venn 1.63x-1.88x)", seeds.len());
+}

@@ -1,0 +1,235 @@
+//! `vennsim` — command-line driver for one-off simulations.
+//!
+//! A downstream-user front end over the library: generate or load a
+//! workload, pick a scheduler and environment, run, and print the JCT
+//! report (optionally per-job CSV).
+//!
+//! ```text
+//! USAGE:
+//!   vennsim [--scheduler venn|random|fifo|srsf]
+//!           [--jobs N] [--population N] [--days N] [--seed N]
+//!           [--workload {even|small|large|low|high}]
+//!           [--bias {general|compute|memory|resource}]
+//!           [--epsilon F] [--tiers N] [--async] [--overcommit F]
+//!           [--load FILE.tsv] [--save FILE.tsv] [--csv]
+//! ```
+//!
+//! Run: `cargo run --release -p venn-bench --bin vennsim -- --jobs 12 --days 5`
+
+use std::process::ExitCode;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use venn_baselines::BaselineScheduler;
+use venn_core::{Scheduler, VennConfig, VennScheduler, MINUTE_MS};
+use venn_metrics::csv::Csv;
+use venn_sim::{SimConfig, Simulation};
+use venn_traces::{io as wio, BiasKind, JobDemandModel, Workload, WorkloadKind};
+
+#[derive(Debug)]
+struct Args {
+    scheduler: String,
+    jobs: usize,
+    population: usize,
+    days: u32,
+    seed: u64,
+    workload: WorkloadKind,
+    bias: Option<BiasKind>,
+    epsilon: f64,
+    tiers: usize,
+    async_mode: bool,
+    overcommit: f64,
+    load: Option<String>,
+    save: Option<String>,
+    csv: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            scheduler: "venn".into(),
+            jobs: 20,
+            population: 3_000,
+            days: 7,
+            seed: 42,
+            workload: WorkloadKind::Even,
+            bias: None,
+            epsilon: 0.0,
+            tiers: 3,
+            async_mode: false,
+            overcommit: 0.0,
+            load: None,
+            save: None,
+            csv: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--scheduler" => args.scheduler = value("--scheduler")?,
+            "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--population" => {
+                args.population = value("--population")?
+                    .parse()
+                    .map_err(|e| format!("--population: {e}"))?
+            }
+            "--days" => args.days = value("--days")?.parse().map_err(|e| format!("--days: {e}"))?,
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--workload" => {
+                args.workload = match value("--workload")?.as_str() {
+                    "even" => WorkloadKind::Even,
+                    "small" => WorkloadKind::Small,
+                    "large" => WorkloadKind::Large,
+                    "low" => WorkloadKind::Low,
+                    "high" => WorkloadKind::High,
+                    other => return Err(format!("unknown workload {other:?}")),
+                }
+            }
+            "--bias" => {
+                args.bias = Some(match value("--bias")?.as_str() {
+                    "general" => BiasKind::General,
+                    "compute" => BiasKind::ComputeHeavy,
+                    "memory" => BiasKind::MemoryHeavy,
+                    "resource" => BiasKind::ResourceHeavy,
+                    other => return Err(format!("unknown bias {other:?}")),
+                })
+            }
+            "--epsilon" => {
+                args.epsilon = value("--epsilon")?
+                    .parse()
+                    .map_err(|e| format!("--epsilon: {e}"))?
+            }
+            "--tiers" => {
+                args.tiers = value("--tiers")?.parse().map_err(|e| format!("--tiers: {e}"))?
+            }
+            "--async" => args.async_mode = true,
+            "--overcommit" => {
+                args.overcommit = value("--overcommit")?
+                    .parse()
+                    .map_err(|e| format!("--overcommit: {e}"))?
+            }
+            "--load" => args.load = Some(value("--load")?),
+            "--save" => args.save = Some(value("--save")?),
+            "--csv" => args.csv = true,
+            "--help" | "-h" => {
+                return Err("help".into());
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_scheduler(args: &Args) -> Result<Box<dyn Scheduler>, String> {
+    Ok(match args.scheduler.as_str() {
+        "venn" => Box::new(VennScheduler::new(VennConfig {
+            epsilon: args.epsilon,
+            tiers: args.tiers,
+            seed: args.seed,
+            ..VennConfig::default()
+        })),
+        "random" => Box::new(BaselineScheduler::random_order(args.seed)),
+        "random-per-device" => Box::new(BaselineScheduler::random_per_device(args.seed)),
+        "fifo" => Box::new(BaselineScheduler::fifo()),
+        "srsf" => Box::new(BaselineScheduler::srsf()),
+        other => return Err(format!("unknown scheduler {other:?}")),
+    })
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let workload = match &args.load {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            wio::from_tsv(&text).map_err(|e| e.to_string())?
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(args.seed);
+            Workload::generate(
+                args.workload,
+                args.bias,
+                args.jobs,
+                &JobDemandModel::default(),
+                30.0 * MINUTE_MS as f64,
+                &mut rng,
+            )
+        }
+    };
+    if let Some(path) = &args.save {
+        std::fs::write(path, wio::to_tsv(&workload)).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!("saved workload to {path}");
+    }
+
+    let config = SimConfig {
+        population: args.population,
+        days: args.days,
+        seed: args.seed,
+        async_mode: args.async_mode,
+        overcommit: args.overcommit,
+        ..SimConfig::default()
+    };
+    let mut scheduler = build_scheduler(args)?;
+    let result = Simulation::new(config).run(&workload, &mut *scheduler);
+    let b = result.breakdown();
+
+    if args.csv {
+        let mut csv = Csv::new(&["job", "jct_ms", "sched_delay_ms", "response_ms", "aborted"]);
+        for (i, rec) in result.records.iter().enumerate() {
+            csv.row(&[
+                i.to_string(),
+                rec.jct_ms().map(|v| v.to_string()).unwrap_or_default(),
+                rec.sched_delay_ms.to_string(),
+                rec.response_ms.to_string(),
+                rec.rounds_aborted.to_string(),
+            ]);
+        }
+        print!("{csv}");
+        return Ok(());
+    }
+
+    println!("scheduler        {}", result.scheduler_name);
+    println!("jobs             {}", workload.jobs.len());
+    println!("finished         {} ({:.0}%)", b.finished(), result.completion_rate() * 100.0);
+    println!("avg JCT          {:.1} min", b.avg_jct_ms() / 60_000.0);
+    println!("avg sched delay  {:.1} min", b.avg_sched_delay_ms() / 60_000.0);
+    println!("avg response     {:.1} min", b.avg_response_ms() / 60_000.0);
+    println!("aborted rounds   {}", result.aborted_rounds);
+    println!("assignments      {} ({} failed)", result.assignments, result.failures);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => match run(&args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            if e != "help" {
+                eprintln!("error: {e}\n");
+            }
+            eprintln!(
+                "usage: vennsim [--scheduler venn|random|fifo|srsf] [--jobs N] \
+                 [--population N] [--days N] [--seed N] [--workload even|small|large|low|high] \
+                 [--bias general|compute|memory|resource] [--epsilon F] [--tiers N] \
+                 [--async] [--overcommit F] [--load FILE.tsv] [--save FILE.tsv] [--csv]"
+            );
+            if e == "help" {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Shared experiment harness for the paper's tables and figures.
+//!
+//! Every bench binary (`fig*`/`table*`) builds on the same three pieces:
+//!
+//! * [`SchedKind`] — enumerates every scheduler the paper evaluates and
+//!   constructs a fresh instance per run;
+//! * [`Experiment`] — a (simulation config, workload) pair with
+//!   constructors matching §5.1's scenarios;
+//! * [`run`] / [`speedup_table`] — execute runs and normalize average JCT
+//!   against the Random baseline, the paper's headline metric.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use venn_baselines::BaselineScheduler;
+use venn_core::{Scheduler, VennConfig, VennScheduler, MINUTE_MS};
+use venn_sim::{SimConfig, SimResult, Simulation};
+use venn_traces::{BiasKind, JobDemandModel, Workload, WorkloadKind};
+
+/// Every scheduler the evaluation compares.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedKind {
+    /// Optimized random matching (the normalization baseline).
+    Random,
+    /// First-in-first-out.
+    Fifo,
+    /// Shortest remaining service first.
+    Srsf,
+    /// Full Venn (IRS + tier matching).
+    Venn,
+    /// Venn without the IRS scheduling algorithm (Fig. 11 arm).
+    VennWoSched,
+    /// Venn without tier matching (Fig. 11 arm).
+    VennWoMatch,
+    /// Venn with an explicit configuration (tier sweeps, fairness knob...).
+    VennWith(VennConfig),
+}
+
+impl SchedKind {
+    /// The four headline columns of Table 1, in order.
+    pub const TABLE1: [SchedKind; 4] = [
+        SchedKind::Random,
+        SchedKind::Fifo,
+        SchedKind::Srsf,
+        SchedKind::Venn,
+    ];
+
+    /// Builds a fresh scheduler. `seed` only affects randomized schedulers.
+    pub fn build(&self, seed: u64) -> Box<dyn Scheduler> {
+        match self {
+            SchedKind::Random => Box::new(BaselineScheduler::random_order(seed)),
+            SchedKind::Fifo => Box::new(BaselineScheduler::fifo()),
+            SchedKind::Srsf => Box::new(BaselineScheduler::srsf()),
+            SchedKind::Venn => Box::new(VennScheduler::new(VennConfig {
+                seed,
+                ..VennConfig::default()
+            })),
+            SchedKind::VennWoSched => Box::new(VennScheduler::new(VennConfig {
+                seed,
+                ..VennConfig::matching_only()
+            })),
+            SchedKind::VennWoMatch => Box::new(VennScheduler::new(VennConfig {
+                seed,
+                ..VennConfig::scheduling_only()
+            })),
+            SchedKind::VennWith(cfg) => Box::new(VennScheduler::new(VennConfig {
+                seed,
+                ..*cfg
+            })),
+        }
+    }
+
+    /// Column label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedKind::Random => "Random",
+            SchedKind::Fifo => "FIFO",
+            SchedKind::Srsf => "SRSF",
+            SchedKind::Venn => "Venn",
+            SchedKind::VennWoSched => "Venn w/o sched",
+            SchedKind::VennWoMatch => "Venn w/o match",
+            SchedKind::VennWith(_) => "Venn (custom)",
+        }
+    }
+}
+
+/// One experiment: an environment plus a workload all schedulers share.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Simulation environment.
+    pub sim: SimConfig,
+    /// Job workload.
+    pub workload: Workload,
+}
+
+impl Experiment {
+    /// The paper's default evaluation scale: 50 jobs, Poisson 30-min
+    /// arrivals, four eligibility categories, 10 simulated days.
+    pub fn paper_default(kind: WorkloadKind, bias: Option<BiasKind>, seed: u64) -> Experiment {
+        Experiment::with_jobs(kind, bias, 50, seed)
+    }
+
+    /// Same setup with an explicit job count (Fig. 12 sweeps it).
+    pub fn with_jobs(
+        kind: WorkloadKind,
+        bias: Option<BiasKind>,
+        num_jobs: usize,
+        seed: u64,
+    ) -> Experiment {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9E3779B97F4A7C15);
+        let workload = Workload::generate(
+            kind,
+            bias,
+            num_jobs,
+            &JobDemandModel::default(),
+            30.0 * MINUTE_MS as f64,
+            &mut rng,
+        );
+        Experiment {
+            sim: SimConfig {
+                seed,
+                ..SimConfig::default()
+            },
+            workload,
+        }
+    }
+
+    /// A smaller, faster variant used by tests and smoke runs.
+    pub fn smoke(kind: WorkloadKind, seed: u64) -> Experiment {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x517CC1B727220A95);
+        let workload = Workload::generate(
+            kind,
+            None,
+            16,
+            &JobDemandModel {
+                rounds_mean: 4.0,
+                rounds_max: 12,
+                demand_mean: 20.0,
+                demand_max: 40,
+                ..JobDemandModel::default()
+            },
+            10.0 * MINUTE_MS as f64,
+            &mut rng,
+        );
+        Experiment {
+            sim: SimConfig {
+                population: 1_500,
+                days: 5,
+                seed,
+                ..SimConfig::default()
+            },
+            workload,
+        }
+    }
+}
+
+/// Runs one scheduler over an experiment.
+pub fn run(experiment: &Experiment, kind: SchedKind) -> SimResult {
+    let mut scheduler = kind.build(experiment.sim.seed ^ 0xA5A5);
+    Simulation::new(experiment.sim).run(&experiment.workload, &mut *scheduler)
+}
+
+/// Average-JCT speed-up of each scheduler over [`SchedKind::Random`] on the
+/// same experiment (the paper's headline normalization). Returns
+/// `(labels, speedups, results)` in the order of `kinds`.
+pub fn speedup_table(
+    experiment: &Experiment,
+    kinds: &[SchedKind],
+) -> (Vec<&'static str>, Vec<f64>, Vec<SimResult>) {
+    let baseline = run(experiment, SchedKind::Random);
+    let base_jct = baseline.avg_jct_ms();
+    let mut labels = Vec::new();
+    let mut speedups = Vec::new();
+    let mut results = Vec::new();
+    for kind in kinds {
+        let r = if *kind == SchedKind::Random {
+            baseline.clone()
+        } else {
+            run(experiment, *kind)
+        };
+        labels.push(kind.label());
+        speedups.push(if r.avg_jct_ms() > 0.0 {
+            base_jct / r.avg_jct_ms()
+        } else {
+            f64::NAN
+        });
+        results.push(r);
+    }
+    (labels, speedups, results)
+}
+
+/// Average of per-seed speed-ups over `seeds` repetitions of an experiment
+/// builder — smooths single-run noise in the headline tables.
+pub fn mean_speedups(
+    make: impl Fn(u64) -> Experiment,
+    kinds: &[SchedKind],
+    seeds: &[u64],
+) -> Vec<f64> {
+    mean_speedups_detailed(make, kinds, seeds).0
+}
+
+/// Like [`mean_speedups`] but also returns the mean job completion rate per
+/// scheduler — a sanity channel: speed-ups are only comparable when all
+/// schedulers finish (nearly) all jobs.
+pub fn mean_speedups_detailed(
+    make: impl Fn(u64) -> Experiment,
+    kinds: &[SchedKind],
+    seeds: &[u64],
+) -> (Vec<f64>, Vec<f64>) {
+    let mut acc = vec![0.0; kinds.len()];
+    let mut completion = vec![0.0; kinds.len()];
+    for &seed in seeds {
+        let exp = make(seed);
+        let (_, speedups, results) = speedup_table(&exp, kinds);
+        for ((a, s), (c, r)) in acc
+            .iter_mut()
+            .zip(&speedups)
+            .zip(completion.iter_mut().zip(&results))
+        {
+            *a += s;
+            *c += r.completion_rate();
+        }
+    }
+    for (a, c) in acc.iter_mut().zip(&mut completion) {
+        *a /= seeds.len() as f64;
+        *c /= seeds.len() as f64;
+    }
+    (acc, completion)
+}
+
+/// Speed-up of `other` over `baseline` restricted to the jobs in `subset`
+/// (workload indices) — used for the Table 2/3 per-slice breakdowns.
+/// Returns `None` if either side finished no job in the subset.
+pub fn subset_speedup(baseline: &SimResult, other: &SimResult, subset: &[usize]) -> Option<f64> {
+    let avg = |r: &SimResult| -> Option<f64> {
+        let jcts: Vec<f64> = subset
+            .iter()
+            .filter_map(|&i| r.records.get(i).and_then(|rec| rec.jct_ms()))
+            .map(|v| v as f64)
+            .collect();
+        if jcts.is_empty() {
+            None
+        } else {
+            Some(jcts.iter().sum::<f64>() / jcts.len() as f64)
+        }
+    };
+    Some(avg(baseline)? / avg(other)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schedulers_run_on_smoke_experiment() {
+        let exp = Experiment::smoke(WorkloadKind::Even, 3);
+        for kind in [
+            SchedKind::Random,
+            SchedKind::Fifo,
+            SchedKind::Srsf,
+            SchedKind::Venn,
+            SchedKind::VennWoSched,
+            SchedKind::VennWoMatch,
+        ] {
+            let r = run(&exp, kind);
+            assert_eq!(r.records.len(), exp.workload.jobs.len(), "{kind:?}");
+            assert!(r.completion_rate() > 0.5, "{kind:?}: {r:?}");
+        }
+    }
+
+    #[test]
+    fn speedup_table_normalizes_to_random() {
+        let exp = Experiment::smoke(WorkloadKind::Even, 4);
+        let (labels, speedups, results) =
+            speedup_table(&exp, &[SchedKind::Random, SchedKind::Venn]);
+        assert_eq!(labels, vec!["Random", "Venn"]);
+        assert!((speedups[0] - 1.0).abs() < 1e-9);
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn experiments_are_deterministic() {
+        let a = Experiment::smoke(WorkloadKind::Even, 5);
+        let b = Experiment::smoke(WorkloadKind::Even, 5);
+        assert_eq!(a.workload, b.workload);
+        let ra = run(&a, SchedKind::Srsf);
+        let rb = run(&b, SchedKind::Srsf);
+        assert_eq!(ra.records, rb.records);
+    }
+}

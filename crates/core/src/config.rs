@@ -1,0 +1,150 @@
+//! Configuration of the Venn scheduler.
+
+use crate::{SimTime, DAY_MS};
+
+/// Tunables of [`VennScheduler`](crate::VennScheduler).
+///
+/// The defaults reproduce the paper's evaluation setup; the toggles exist
+/// for the Fig. 11 ablation (`use_irs` / `use_matching`) and the Fig. 13/14
+/// sweeps (`tiers` / `epsilon`).
+///
+/// # Examples
+///
+/// ```
+/// use venn_core::VennConfig;
+///
+/// let sched_only = VennConfig {
+///     use_matching: false,
+///     ..VennConfig::default()
+/// };
+/// assert!(sched_only.use_irs);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VennConfig {
+    /// Fairness knob ε (§4.4). `0.0` disables starvation prevention.
+    pub epsilon: f64,
+    /// Number of device tiers `V` for Algorithm 2. `1` disables tiering.
+    pub tiers: usize,
+    /// Enable the IRS job-ordering algorithm (Algorithm 1). When `false`
+    /// jobs are served FIFO — the paper's "Venn w/o sched" ablation arm.
+    pub use_irs: bool,
+    /// Enable Algorithm 1's greedy cross-group reallocation (lines 10-23).
+    /// When `false`, groups keep their scarcest-first seeding — a design
+    /// ablation isolating the value of the queue-ratio steal step.
+    pub use_steal: bool,
+    /// Enable tier-based matching (Algorithm 2). When `false` this is the
+    /// paper's "Venn w/o match" ablation arm.
+    pub use_matching: bool,
+    /// Sliding window for supply estimation; the paper averages over 24 h.
+    pub supply_window_ms: SimTime,
+    /// Periodic plan refresh between job arrival/completion triggers, so
+    /// the plan tracks diurnal supply drift.
+    pub rebuild_interval_ms: SimTime,
+    /// Minimum profiled responses before a job may be tier-restricted.
+    pub min_profile_samples: usize,
+    /// Seed for the rotating random tier pick.
+    pub seed: u64,
+}
+
+impl Default for VennConfig {
+    fn default() -> Self {
+        VennConfig {
+            epsilon: 0.0,
+            tiers: 3,
+            use_irs: true,
+            use_steal: true,
+            use_matching: true,
+            supply_window_ms: DAY_MS,
+            rebuild_interval_ms: 60_000,
+            min_profile_samples: 10,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl VennConfig {
+    /// The "Venn w/o match" ablation arm: IRS only.
+    pub fn scheduling_only() -> Self {
+        VennConfig {
+            use_matching: false,
+            ..VennConfig::default()
+        }
+    }
+
+    /// The "Venn w/o sched" ablation arm: FIFO order + tier matching.
+    pub fn matching_only() -> Self {
+        VennConfig {
+            use_irs: false,
+            ..VennConfig::default()
+        }
+    }
+
+    /// Full Venn with the starvation-prevention knob set to `epsilon`.
+    pub fn with_fairness(epsilon: f64) -> Self {
+        VennConfig {
+            epsilon,
+            ..VennConfig::default()
+        }
+    }
+
+    /// Validates invariants; called by the scheduler constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tiers == 0`, ε is negative/non-finite, or a window is 0.
+    pub fn validate(&self) {
+        assert!(self.tiers > 0, "tier count must be positive");
+        assert!(
+            self.epsilon.is_finite() && self.epsilon >= 0.0,
+            "epsilon must be finite and non-negative"
+        );
+        assert!(self.supply_window_ms > 0, "supply window must be positive");
+        assert!(
+            self.rebuild_interval_ms > 0,
+            "rebuild interval must be positive"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = VennConfig::default();
+        assert_eq!(c.epsilon, 0.0);
+        assert!(c.use_irs && c.use_matching);
+        assert_eq!(c.supply_window_ms, DAY_MS);
+        c.validate();
+    }
+
+    #[test]
+    fn ablation_arms() {
+        assert!(!VennConfig::scheduling_only().use_matching);
+        assert!(VennConfig::scheduling_only().use_irs);
+        assert!(!VennConfig::matching_only().use_irs);
+        assert!(VennConfig::matching_only().use_matching);
+        assert_eq!(VennConfig::with_fairness(2.0).epsilon, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tier count")]
+    fn zero_tiers_rejected() {
+        VennConfig {
+            tiers: 0,
+            ..VennConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn negative_epsilon_rejected() {
+        VennConfig {
+            epsilon: -1.0,
+            ..VennConfig::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,205 @@
+//! Diurnal supply forecasting — the "time-series database" of §4.4.
+//!
+//! The paper records every device check-in in a time-series store and
+//! queries eligibility distributions over past windows so the scheduler is
+//! "farsighted and robust" against the diurnal swing of Fig. 2a.
+//! [`DiurnalProfile`] is that store: per-(hour-of-day, capacity-bucket)
+//! counters over a rolling multi-day history, answering
+//!
+//! * "what is the expected eligible check-in rate at hour `h`?" and
+//! * "how many eligible devices will arrive over the next `k` hours?"
+//!
+//! The second query lets callers decide, e.g., whether a request is worth
+//! tier-restricting before the overnight charging peak arrives.
+
+use crate::{Capacity, ResourceSpec, SimTime, DAY_MS, HOUR_MS};
+
+/// Capacity buckets per axis for the profile (coarser than the live
+/// [`SupplyEstimator`](crate::SupplyEstimator) grid; profiles aggregate
+/// days of data, so coarse buckets are plenty).
+const BUCKETS: usize = 16;
+
+/// Rolling per-hour-of-day supply profile.
+///
+/// # Examples
+///
+/// ```
+/// use venn_core::forecast::DiurnalProfile;
+/// use venn_core::{Capacity, ResourceSpec, HOUR_MS};
+///
+/// let mut p = DiurnalProfile::new();
+/// // Devices check in at hour 22 on two consecutive days.
+/// for day in 0..2u64 {
+///     let t = day * 24 * HOUR_MS + 22 * HOUR_MS;
+///     p.record(t, &Capacity::new(0.8, 0.8));
+/// }
+/// let rate = p.hourly_rate(22, &ResourceSpec::new(0.5, 0.5));
+/// assert!(rate > 0.0);
+/// assert_eq!(p.hourly_rate(3, &ResourceSpec::any()), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiurnalProfile {
+    /// counts[hour][cpu_bucket * BUCKETS + mem_bucket]
+    counts: Vec<Vec<u32>>,
+    /// Number of *distinct days* observed per hour bucket (for averaging).
+    days_seen: Vec<u32>,
+    last_day_per_hour: Vec<Option<u64>>,
+    total: u64,
+}
+
+impl Default for DiurnalProfile {
+    fn default() -> Self {
+        DiurnalProfile::new()
+    }
+}
+
+impl DiurnalProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        DiurnalProfile {
+            counts: vec![vec![0; BUCKETS * BUCKETS]; 24],
+            days_seen: vec![0; 24],
+            last_day_per_hour: vec![None; 24],
+            total: 0,
+        }
+    }
+
+    fn bucket(capacity: &Capacity) -> usize {
+        let clamp = |v: f64| (v * BUCKETS as f64).min((BUCKETS - 1) as f64).max(0.0) as usize;
+        clamp(capacity.cpu()) * BUCKETS + clamp(capacity.mem())
+    }
+
+    /// Records one check-in.
+    pub fn record(&mut self, now: SimTime, capacity: &Capacity) {
+        let hour = ((now % DAY_MS) / HOUR_MS) as usize;
+        let day = now / DAY_MS;
+        if self.last_day_per_hour[hour] != Some(day) {
+            self.last_day_per_hour[hour] = Some(day);
+            self.days_seen[hour] += 1;
+        }
+        self.counts[hour][Self::bucket(capacity)] += 1;
+        self.total += 1;
+    }
+
+    /// Total check-ins recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Expected eligible check-ins per hour at hour-of-day `hour`,
+    /// averaged over the observed days. Zero before any observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hour >= 24`.
+    pub fn hourly_rate(&self, hour: usize, spec: &ResourceSpec) -> f64 {
+        assert!(hour < 24, "hour of day out of range");
+        let days = self.days_seen[hour];
+        if days == 0 {
+            return 0.0;
+        }
+        let mut count = 0u64;
+        for cpu_b in 0..BUCKETS {
+            for mem_b in 0..BUCKETS {
+                let cap = Capacity::new(
+                    cpu_b as f64 / BUCKETS as f64,
+                    mem_b as f64 / BUCKETS as f64,
+                );
+                if spec.is_eligible(&cap) {
+                    count += self.counts[hour][cpu_b * BUCKETS + mem_b] as u64;
+                }
+            }
+        }
+        count as f64 / days as f64
+    }
+
+    /// Forecast: expected number of eligible check-ins between `now` and
+    /// `now + horizon_hours` hours, walking the diurnal profile forward.
+    pub fn forecast(&self, now: SimTime, horizon_hours: usize, spec: &ResourceSpec) -> f64 {
+        let start_hour = ((now % DAY_MS) / HOUR_MS) as usize;
+        (0..horizon_hours)
+            .map(|k| self.hourly_rate((start_hour + k) % 24, spec))
+            .sum()
+    }
+
+    /// The hour of day with the highest expected eligible supply, or
+    /// `None` before any observation — "wait for the overnight peak".
+    pub fn peak_hour(&self, spec: &ResourceSpec) -> Option<usize> {
+        let rates: Vec<f64> = (0..24).map(|h| self.hourly_rate(h, spec)).collect();
+        let (hour, &best) = rates
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite rates"))?;
+        (best > 0.0).then_some(hour)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(c: f64, m: f64) -> Capacity {
+        Capacity::new(c, m)
+    }
+
+    #[test]
+    fn empty_profile_is_zero() {
+        let p = DiurnalProfile::new();
+        assert_eq!(p.hourly_rate(0, &ResourceSpec::any()), 0.0);
+        assert_eq!(p.forecast(0, 24, &ResourceSpec::any()), 0.0);
+        assert_eq!(p.peak_hour(&ResourceSpec::any()), None);
+        assert_eq!(p.total(), 0);
+    }
+
+    #[test]
+    fn rates_average_over_days() {
+        let mut p = DiurnalProfile::new();
+        // Hour 5: 4 check-ins on day 0, 2 on day 1 → expected 3/h.
+        for _ in 0..4 {
+            p.record(5 * HOUR_MS + 10, &cap(0.5, 0.5));
+        }
+        for _ in 0..2 {
+            p.record(DAY_MS + 5 * HOUR_MS + 10, &cap(0.5, 0.5));
+        }
+        assert!((p.hourly_rate(5, &ResourceSpec::any()) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eligibility_filters_rates() {
+        let mut p = DiurnalProfile::new();
+        p.record(HOUR_MS, &cap(0.9, 0.9));
+        p.record(HOUR_MS, &cap(0.1, 0.1));
+        let any = p.hourly_rate(1, &ResourceSpec::any());
+        let high = p.hourly_rate(1, &ResourceSpec::new(0.5, 0.5));
+        assert_eq!(any, 2.0);
+        assert_eq!(high, 1.0);
+    }
+
+    #[test]
+    fn forecast_wraps_around_midnight() {
+        let mut p = DiurnalProfile::new();
+        p.record(23 * HOUR_MS, &cap(0.5, 0.5)); // hour 23
+        p.record(0, &cap(0.5, 0.5)); // hour 0
+        // Forecast from hour 23, two hours ahead: covers hours 23 and 0.
+        let f = p.forecast(23 * HOUR_MS + 5, 2, &ResourceSpec::any());
+        assert_eq!(f, 2.0);
+    }
+
+    #[test]
+    fn peak_hour_finds_the_charging_peak() {
+        let mut p = DiurnalProfile::new();
+        for _ in 0..10 {
+            p.record(22 * HOUR_MS, &cap(0.5, 0.5));
+        }
+        p.record(9 * HOUR_MS, &cap(0.5, 0.5));
+        assert_eq!(p.peak_hour(&ResourceSpec::any()), Some(22));
+        // A spec nothing satisfies has no peak.
+        assert_eq!(p.peak_hour(&ResourceSpec::new(0.99, 0.99)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "hour of day")]
+    fn out_of_range_hour_panics() {
+        DiurnalProfile::new().hourly_rate(24, &ResourceSpec::any());
+    }
+}

@@ -1,0 +1,329 @@
+//! Intersection Resource Scheduling (IRS) — the paper's Algorithm 1.
+//!
+//! Given job groups whose eligible device pools overlap, contain, or nest
+//! within one another, IRS produces a *resource allocation plan*: which
+//! job group owns each atomic region of the eligibility Venn diagram, so
+//! that every checked-in device can be routed to the first eligible job in
+//! a fixed order. The heuristic has two steps:
+//!
+//! 1. **Intra-group** (§4.2.1): within a group, jobs are served smallest
+//!    remaining demand first (computed by the caller; see
+//!    [`crate::fairness`] for the starvation-adjusted demand).
+//! 2. **Inter-group** (§4.2.2): groups are seeded scarcest-first with their
+//!    still-unclaimed regions, then — walking groups from most to least
+//!    abundant — a group greedily *steals* intersected regions from scarcer
+//!    groups whenever its queue-pressure ratio `m'_j / |S'_j|` exceeds the
+//!    victim's `m'_k / |S'_k|` (Algorithm 1, line 15).
+//!
+//! The whole computation is `O(m log m + n² · R)` for `m` jobs, `n` groups
+//! and `R` distinct regions; with threshold specs `R ≤ n + 1` in practice.
+
+use std::collections::HashMap;
+
+use crate::supply::RegionSupply;
+
+/// Scheduling-relevant summary of one resource-homogeneous job group.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupSummary {
+    /// Caller-side index identifying the group (bit position in region
+    /// masks).
+    pub index: usize,
+    /// Total eligible supply rate `|S_j|` (devices/ms over the window).
+    pub eligible_supply: f64,
+    /// Queue length `m_j` — number of jobs waiting in the group, optionally
+    /// fairness-scaled (§4.4).
+    pub queue_len: f64,
+}
+
+/// The output of Algorithm 1: region ownership plus a fallback order.
+///
+/// A device with eligibility mask `m` is offered first to
+/// `owner_of.get(&m)`, then to the remaining eligible groups in
+/// `fallback_order` (scarcest first), which maximizes utilization when the
+/// owner has no pending demand.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AllocationPlan {
+    /// Owner group index for each atomic region mask.
+    pub owner_of: HashMap<u128, usize>,
+    /// All group indices ordered by ascending eligible supply (scarcest
+    /// first), used to break ties and to place devices the owner declines.
+    pub fallback_order: Vec<usize>,
+}
+
+impl AllocationPlan {
+    /// Iterator over group indices in the order a device with eligibility
+    /// mask `mask` should be offered: owner first, then scarcity order.
+    pub fn offer_order<'a>(&'a self, mask: u128) -> impl Iterator<Item = usize> + 'a {
+        let owner = self.owner_of.get(&mask).copied();
+        owner.into_iter().chain(
+            self.fallback_order
+                .iter()
+                .copied()
+                .filter(move |&g| mask & (1u128 << g) != 0 && Some(g) != owner),
+        )
+    }
+}
+
+/// Runs the inter-group step of Algorithm 1.
+///
+/// `groups` summarizes each active job group; `regions` is the atomic-region
+/// supply decomposition from
+/// [`SupplyEstimator::region_supplies`](crate::SupplyEstimator::region_supplies)
+/// (bit `j` of a mask refers to `groups[j']` with `groups[j'].index == j`).
+///
+/// # Panics
+///
+/// Panics if any group index is ≥ 128 (mask width).
+pub fn allocate(groups: &[GroupSummary], regions: &[RegionSupply]) -> AllocationPlan {
+    allocate_with(groups, regions, true)
+}
+
+/// [`allocate`] with the greedy cross-group reallocation (Algorithm 1 lines
+/// 10–23) optionally disabled — the "scarcity-only" design ablation: groups
+/// keep exactly their initial scarcest-first seeding.
+pub fn allocate_with(
+    groups: &[GroupSummary],
+    regions: &[RegionSupply],
+    steal: bool,
+) -> AllocationPlan {
+    for g in groups {
+        assert!(g.index < 128, "group index exceeds mask width");
+    }
+    let mut plan = AllocationPlan::default();
+    if groups.is_empty() {
+        return plan;
+    }
+
+    // Scarcity order: ascending |S_j|, stable on index for determinism.
+    let mut asc: Vec<&GroupSummary> = groups.iter().collect();
+    asc.sort_by(|a, b| {
+        a.eligible_supply
+            .partial_cmp(&b.eligible_supply)
+            .expect("non-finite supply")
+            .then(a.index.cmp(&b.index))
+    });
+    plan.fallback_order = asc.iter().map(|g| g.index).collect();
+
+    // --- Initial allocation (Algorithm 1, lines 5-9): walk groups from the
+    // scarcest and give each all still-unclaimed regions it is eligible for.
+    let mut owned_regions: HashMap<usize, Vec<usize>> = HashMap::new(); // group -> region idxs
+    let mut claimed = vec![false; regions.len()];
+    for g in &asc {
+        let bit = 1u128 << g.index;
+        let mut mine = Vec::new();
+        for (ri, region) in regions.iter().enumerate() {
+            if !claimed[ri] && region.mask & bit != 0 {
+                claimed[ri] = true;
+                mine.push(ri);
+            }
+        }
+        owned_regions.insert(g.index, mine);
+    }
+
+    // Allocated supply |S'_j| and affected queue length m'_j per group.
+    let supply_of = |owned: &[usize]| -> f64 { owned.iter().map(|&ri| regions[ri].rate).sum() };
+    let mut alloc_supply: HashMap<usize, f64> = owned_regions
+        .iter()
+        .map(|(&g, owned)| (g, supply_of(owned)))
+        .collect();
+    let mut queue: HashMap<usize, f64> =
+        groups.iter().map(|g| (g.index, g.queue_len)).collect();
+
+    // --- Greedy reallocation (lines 10-23): from the most abundant group,
+    // steal intersected regions from scarcer groups while the queue-pressure
+    // ratio favours it.
+    let desc: Vec<&GroupSummary> = if steal {
+        asc.iter().rev().copied().collect()
+    } else {
+        Vec::new()
+    };
+    for (pos, gj) in desc.iter().enumerate() {
+        let j = gj.index;
+        if alloc_supply[&j] <= 0.0 {
+            continue; // nothing was left for this group; it cannot anchor a steal
+        }
+        // Victims: strictly scarcer groups whose eligible set intersects
+        // G_j's, visited from the most abundant of them downwards.
+        for gk in desc[pos + 1..].iter() {
+            let k = gk.index;
+            if gk.eligible_supply >= gj.eligible_supply {
+                continue;
+            }
+            let bit_j = 1u128 << j;
+            let intersects = regions
+                .iter()
+                .any(|r| r.mask & bit_j != 0 && r.mask & (1u128 << k) != 0);
+            if !intersects {
+                continue;
+            }
+            let sj = alloc_supply[&j];
+            let sk = alloc_supply[&k];
+            let ratio_j = if sj > 0.0 { queue[&j] / sj } else { f64::INFINITY };
+            let ratio_k = if sk > 0.0 { queue[&k] / sk } else { f64::INFINITY };
+            if ratio_j > ratio_k && ratio_k.is_finite() {
+                // Move the regions of S'_k that G_j is eligible for.
+                let victim = owned_regions.get_mut(&k).expect("victim exists");
+                let (moved, kept): (Vec<usize>, Vec<usize>) = victim
+                    .iter()
+                    .partition(|&&ri| regions[ri].mask & bit_j != 0);
+                *victim = kept;
+                let moved_rate: f64 = moved.iter().map(|&ri| regions[ri].rate).sum();
+                owned_regions.get_mut(&j).expect("thief exists").extend(moved);
+                *alloc_supply.get_mut(&j).expect("thief supply") += moved_rate;
+                *alloc_supply.get_mut(&k).expect("victim supply") -= moved_rate;
+                // The deprioritized group's jobs now queue behind G_j's.
+                let mk = queue[&k];
+                *queue.get_mut(&j).expect("thief queue") += mk;
+            } else {
+                // G_j should first look to groups more abundant than G_k.
+                break;
+            }
+        }
+    }
+
+    for (g, owned) in owned_regions {
+        for ri in owned {
+            plan.owner_of.insert(regions[ri].mask, g);
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(mask: u128, rate: f64) -> RegionSupply {
+        RegionSupply { mask, rate }
+    }
+
+    fn group(index: usize, supply: f64, queue: f64) -> GroupSummary {
+        GroupSummary {
+            index,
+            eligible_supply: supply,
+            queue_len: queue,
+        }
+    }
+
+    /// Two groups, nested pools (the Lemma 2 setting): group 1 (scarce,
+    /// needs >=2GB analog) owns the scarce region; group 0 owns the rest.
+    #[test]
+    fn nested_pools_seed_scarcest_first() {
+        // Region 0b01: only general eligible; 0b11: both.
+        let regions = [region(0b01, 0.7), region(0b11, 0.3)];
+        let groups = [group(0, 1.0, 1.0), group(1, 0.3, 1.0)];
+        let plan = allocate(&groups, &regions);
+        assert_eq!(plan.owner_of[&0b11], 1);
+        assert_eq!(plan.owner_of[&0b01], 0);
+        assert_eq!(plan.fallback_order, vec![1, 0]);
+    }
+
+    /// When the abundant group's queue pressure dominates, it steals the
+    /// intersection (Algorithm 1 line 15-17).
+    #[test]
+    fn abundant_group_steals_under_queue_pressure() {
+        let regions = [region(0b01, 0.7), region(0b11, 0.3)];
+        // Group 0: huge queue on abundant pool; group 1: single job on the
+        // scarce pool. m0/s0 = 20/0.7 > m1/s1 = 1/0.3.
+        let groups = [group(0, 1.0, 20.0), group(1, 0.3, 1.0)];
+        let plan = allocate(&groups, &regions);
+        assert_eq!(plan.owner_of[&0b11], 0, "intersection stolen by group 0");
+        assert_eq!(plan.owner_of[&0b01], 0);
+    }
+
+    #[test]
+    fn no_steal_when_scarce_queue_dominates() {
+        let regions = [region(0b01, 0.7), region(0b11, 0.3)];
+        // m0/s0 = 1/0.7 < m1/s1 = 10/0.3.
+        let groups = [group(0, 1.0, 1.0), group(1, 0.3, 10.0)];
+        let plan = allocate(&groups, &regions);
+        assert_eq!(plan.owner_of[&0b11], 1);
+    }
+
+    /// Fig. 3 toy shape: Keyboard (all devices) vs two Emoji jobs (half the
+    /// devices). Emoji group must own the emoji region.
+    #[test]
+    fn toy_example_reserves_scarce_devices() {
+        let regions = [region(0b01, 0.5), region(0b11, 0.5)];
+        let keyboard = group(0, 1.0, 1.0);
+        let emoji = group(1, 0.5, 2.0);
+        let plan = allocate(&[keyboard, emoji], &regions);
+        assert_eq!(plan.owner_of[&0b11], 1);
+        assert_eq!(plan.owner_of[&0b01], 0);
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_plan() {
+        let plan = allocate(&[], &[]);
+        assert!(plan.owner_of.is_empty());
+        assert!(plan.fallback_order.is_empty());
+    }
+
+    #[test]
+    fn every_region_with_an_eligible_group_is_owned() {
+        let regions = [
+            region(0b001, 0.2),
+            region(0b011, 0.2),
+            region(0b101, 0.2),
+            region(0b111, 0.2),
+        ];
+        let groups = [group(0, 0.8, 3.0), group(1, 0.4, 1.0), group(2, 0.4, 2.0)];
+        let plan = allocate(&groups, &regions);
+        for r in &regions {
+            let owner = plan.owner_of.get(&r.mask).copied().expect("region owned");
+            assert!(r.mask & (1 << owner) != 0, "owner must be eligible");
+        }
+    }
+
+    #[test]
+    fn offer_order_starts_with_owner_then_scarcity() {
+        let regions = [region(0b01, 0.7), region(0b11, 0.3)];
+        let groups = [group(0, 1.0, 1.0), group(1, 0.3, 1.0)];
+        let plan = allocate(&groups, &regions);
+        let order: Vec<usize> = plan.offer_order(0b11).collect();
+        assert_eq!(order, vec![1, 0]);
+        let order: Vec<usize> = plan.offer_order(0b01).collect();
+        assert_eq!(order, vec![0]);
+    }
+
+    #[test]
+    fn disjoint_groups_never_steal() {
+        // Two disjoint pools: no region carries both bits.
+        let regions = [region(0b01, 0.5), region(0b10, 0.1)];
+        let groups = [group(0, 0.5, 100.0), group(1, 0.1, 1.0)];
+        let plan = allocate(&groups, &regions);
+        assert_eq!(plan.owner_of[&0b10], 1);
+        assert_eq!(plan.owner_of[&0b01], 0);
+    }
+
+    #[test]
+    fn three_level_nesting_respects_scarcity_without_pressure() {
+        // general ⊃ compute ⊃ high-perf, equal queues.
+        let regions = [region(0b001, 0.5), region(0b011, 0.3), region(0b111, 0.2)];
+        let groups = [group(0, 1.0, 1.0), group(1, 0.5, 1.0), group(2, 0.2, 1.0)];
+        let plan = allocate(&groups, &regions);
+        assert_eq!(plan.owner_of[&0b111], 2);
+        assert_eq!(plan.owner_of[&0b011], 1);
+        assert_eq!(plan.owner_of[&0b001], 0);
+    }
+
+    #[test]
+    fn steal_ablation_keeps_initial_seeding() {
+        let regions = [region(0b01, 0.7), region(0b11, 0.3)];
+        // Queue pressure that *would* trigger a steal...
+        let groups = [group(0, 1.0, 20.0), group(1, 0.3, 1.0)];
+        let no_steal = allocate_with(&groups, &regions, false);
+        // ...is ignored: the scarce group keeps its region.
+        assert_eq!(no_steal.owner_of[&0b11], 1);
+        let with_steal = allocate_with(&groups, &regions, true);
+        assert_eq!(with_steal.owner_of[&0b11], 0);
+    }
+
+    #[test]
+    fn zero_supply_group_does_not_anchor_steals() {
+        let regions = [region(0b01, 1.0)]; // nothing eligible for group 1
+        let groups = [group(0, 1.0, 1.0), group(1, 0.0, 50.0)];
+        let plan = allocate(&groups, &regions);
+        assert_eq!(plan.owner_of[&0b01], 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Core of the Venn collaborative-learning (CL) resource manager.
+//!
+//! Venn (MLSys 2025) schedules ephemeral, heterogeneous edge devices among
+//! many concurrent CL jobs to minimize the average job completion time
+//! (JCT). This crate implements the paper's two contributions from scratch:
+//!
+//! * **Intersection Resource Scheduling (IRS)** — [`irs`] implements
+//!   Algorithm 1: jobs are grouped into *resource-homogeneous job groups*
+//!   (same device requirement), ordered within a group by smallest remaining
+//!   demand, and the groups' overlapping eligible-device sets are allocated
+//!   by a scarcity-first pass followed by a greedy queue-ratio reallocation.
+//! * **Resource-aware device matching** — [`matching`] implements
+//!   Algorithm 2: a served job's eligible devices are partitioned into `V`
+//!   capacity tiers and the job is restricted to one randomly rotating tier
+//!   whenever the projected JCT improves (`1 + c > V + c·g_u`).
+//!
+//! The two pieces are composed by [`VennScheduler`], which implements the
+//! same [`Scheduler`] trait as the baselines (Random / FIFO / SRSF in the
+//! `venn-baselines` crate), so the event-driven simulator in `venn-sim` can
+//! drive any of them interchangeably.
+//!
+//! # Examples
+//!
+//! ```
+//! use venn_core::{
+//!     Capacity, DeviceInfo, DeviceId, JobId, Request, ResourceSpec, Scheduler,
+//!     VennConfig, VennScheduler,
+//! };
+//!
+//! let mut sched = VennScheduler::new(VennConfig::default());
+//! sched.submit(
+//!     Request::new(JobId::new(1), ResourceSpec::any(), 2, 10),
+//!     0,
+//! );
+//! let device = DeviceInfo::new(DeviceId::new(7), Capacity::new(0.9, 0.9));
+//! sched.on_check_in(&device, 5);
+//! assert_eq!(sched.assign(&device, 5), Some(JobId::new(1)));
+//! ```
+
+pub mod config;
+pub mod device;
+pub mod fairness;
+pub mod forecast;
+pub mod ids;
+pub mod irs;
+pub mod matching;
+pub mod request;
+pub mod resource;
+pub mod scheduler;
+pub mod supply;
+pub mod venn;
+
+pub use config::VennConfig;
+pub use device::DeviceInfo;
+pub use ids::{DeviceId, GroupId, JobId};
+pub use request::Request;
+pub use resource::{Capacity, CategoryThresholds, ResourceSpec, SpecCategory};
+pub use scheduler::Scheduler;
+pub use supply::SupplyEstimator;
+pub use venn::VennScheduler;
+
+/// Simulated time in milliseconds since the start of a run.
+///
+/// Integer milliseconds keep event ordering total and runs reproducible.
+pub type SimTime = u64;
+
+/// One simulated day in milliseconds.
+pub const DAY_MS: SimTime = 24 * 60 * 60 * 1000;
+
+/// One simulated hour in milliseconds.
+pub const HOUR_MS: SimTime = 60 * 60 * 1000;
+
+/// One simulated minute in milliseconds.
+pub const MINUTE_MS: SimTime = 60 * 1000;

@@ -1,0 +1,73 @@
+//! Per-round resource requests submitted by CL jobs.
+
+use crate::{JobId, ResourceSpec};
+
+/// One round's resource request from a CL job (paper §3, step 0).
+///
+/// A request names the job, its device requirement, the number of devices
+/// needed this round, and — for schedulers that use it (SRSF, intra-group
+/// ordering) — the job's total remaining work in device-rounds.
+///
+/// This is a passive data record; fields are public by design.
+///
+/// # Examples
+///
+/// ```
+/// use venn_core::{JobId, Request, ResourceSpec};
+///
+/// let r = Request::new(JobId::new(1), ResourceSpec::new(0.5, 0.0), 100, 5_000);
+/// assert_eq!(r.demand, 100);
+/// assert_eq!(r.total_remaining, 5_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// The requesting job.
+    pub job: JobId,
+    /// Device requirement shared by every device this job can use.
+    pub spec: ResourceSpec,
+    /// Number of devices needed for the current round.
+    pub demand: u32,
+    /// Total remaining work across all upcoming rounds, in device-rounds.
+    ///
+    /// Used by SRSF and available to Venn's intra-group ordering when jobs
+    /// disclose it (paper §4.2.1).
+    pub total_remaining: u64,
+}
+
+impl Request {
+    /// Creates a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `demand` is zero — a zero-demand request is meaningless and
+    /// almost certainly a caller bug.
+    pub fn new(job: JobId, spec: ResourceSpec, demand: u32, total_remaining: u64) -> Self {
+        assert!(demand > 0, "request demand must be positive");
+        Request {
+            job,
+            spec,
+            demand,
+            total_remaining,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_stores_fields() {
+        let r = Request::new(JobId::new(2), ResourceSpec::any(), 3, 12);
+        assert_eq!(r.job, JobId::new(2));
+        assert_eq!(r.spec, ResourceSpec::any());
+        assert_eq!(r.demand, 3);
+        assert_eq!(r.total_remaining, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "demand must be positive")]
+    fn zero_demand_panics() {
+        Request::new(JobId::new(1), ResourceSpec::any(), 0, 0);
+    }
+}

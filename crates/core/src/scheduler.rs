@@ -1,0 +1,121 @@
+//! The scheduler interface shared by Venn and every baseline.
+
+use crate::{DeviceInfo, JobId, Request, SimTime};
+
+/// A CL resource manager: decides which job each checked-in device serves.
+///
+/// The event-driven simulator (`venn-sim`) drives implementations through
+/// this trait, so Venn, Random, FIFO, and SRSF are interchangeable. The
+/// lifecycle per round of a job is:
+///
+/// 1. [`submit`](Scheduler::submit) — the job asks for `demand` devices.
+/// 2. Devices check in over time; each check-in triggers
+///    [`on_check_in`](Scheduler::on_check_in) (supply observation) and
+///    [`assign`](Scheduler::assign) (the allocation decision, paper step 2).
+/// 3. Assignment failures return capacity via
+///    [`add_demand`](Scheduler::add_demand).
+/// 4. [`on_alloc_complete`](Scheduler::on_alloc_complete) and
+///    [`on_response`](Scheduler::on_response) feed profiling (Venn's tier
+///    matching learns from them; baselines ignore them).
+/// 5. [`withdraw`](Scheduler::withdraw) — the round reached quorum or
+///    aborted; the request leaves the queue.
+///
+/// Implementations must tolerate `withdraw`/`add_demand` for unknown jobs
+/// (the simulator may race a deadline against the last response).
+pub trait Scheduler {
+    /// Human-readable scheduler name used in experiment tables.
+    fn name(&self) -> &str;
+
+    /// Enqueues a round request.
+    fn submit(&mut self, request: Request, now: SimTime);
+
+    /// Removes the job's current request (round quorum reached or aborted).
+    fn withdraw(&mut self, job: JobId, now: SimTime);
+
+    /// Returns `count` units of demand to the job's current request after
+    /// assignment failures (device departed before responding).
+    fn add_demand(&mut self, job: JobId, count: u32, now: SimTime);
+
+    /// Observes a device check-in (supply signal). Default: ignored.
+    fn on_check_in(&mut self, _device: &DeviceInfo, _now: SimTime) {}
+
+    /// Chooses a job for the checked-in device, or `None` to leave it idle.
+    ///
+    /// On `Some(job)`, the scheduler must decrement that job's pending
+    /// demand so subsequent devices are not over-assigned.
+    fn assign(&mut self, device: &DeviceInfo, now: SimTime) -> Option<JobId>;
+
+    /// Observes a successful response from a device serving `job`.
+    /// Default: ignored.
+    fn on_response(
+        &mut self,
+        _job: JobId,
+        _device: &DeviceInfo,
+        _response_ms: u64,
+        _now: SimTime,
+    ) {
+    }
+
+    /// Observes that `job`'s current request became fully allocated after
+    /// `delay_ms` of scheduling delay. Default: ignored.
+    fn on_alloc_complete(&mut self, _job: JobId, _delay_ms: u64, _now: SimTime) {}
+
+    /// Remaining unassigned demand of the job's current request, or `None`
+    /// if the job has no active request.
+    fn pending_demand(&self, job: JobId) -> Option<u32>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Capacity, DeviceId, ResourceSpec};
+
+    /// A minimal scheduler proving the trait is object-safe and the default
+    /// methods compile.
+    #[derive(Debug, Default)]
+    struct Greedy {
+        queue: Vec<Request>,
+    }
+
+    impl Scheduler for Greedy {
+        fn name(&self) -> &str {
+            "greedy"
+        }
+        fn submit(&mut self, request: Request, _now: SimTime) {
+            self.queue.push(request);
+        }
+        fn withdraw(&mut self, job: JobId, _now: SimTime) {
+            self.queue.retain(|r| r.job != job);
+        }
+        fn add_demand(&mut self, job: JobId, count: u32, _now: SimTime) {
+            if let Some(r) = self.queue.iter_mut().find(|r| r.job == job) {
+                r.demand += count;
+            }
+        }
+        fn assign(&mut self, device: &DeviceInfo, _now: SimTime) -> Option<JobId> {
+            let r = self
+                .queue
+                .iter_mut()
+                .find(|r| r.demand > 0 && r.spec.is_eligible(device.capacity()))?;
+            r.demand -= 1;
+            Some(r.job)
+        }
+        fn pending_demand(&self, job: JobId) -> Option<u32> {
+            self.queue.iter().find(|r| r.job == job).map(|r| r.demand)
+        }
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut s: Box<dyn Scheduler> = Box::<Greedy>::default();
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 1, 1), 0);
+        let d = DeviceInfo::new(DeviceId::new(1), Capacity::new(0.5, 0.5));
+        s.on_check_in(&d, 0);
+        assert_eq!(s.assign(&d, 0), Some(JobId::new(1)));
+        assert_eq!(s.pending_demand(JobId::new(1)), Some(0));
+        s.on_response(JobId::new(1), &d, 100, 100);
+        s.on_alloc_complete(JobId::new(1), 0, 0);
+        s.withdraw(JobId::new(1), 0);
+        assert_eq!(s.pending_demand(JobId::new(1)), None);
+    }
+}

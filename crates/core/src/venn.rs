@@ -1,0 +1,589 @@
+//! The Venn scheduler: IRS job ordering + tier-based device matching.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fairness::{fair_target_ms, FairnessKnob};
+use crate::irs::{self, AllocationPlan, GroupSummary};
+use crate::matching::{decide_tier, TierProfiler, TierRange};
+use crate::{
+    DeviceInfo, JobId, Request, ResourceSpec, Scheduler, SimTime, SupplyEstimator, VennConfig,
+};
+
+/// Fallback per-round response estimate (ms) used for the uncontended-JCT
+/// guess before any profiling data exists.
+const DEFAULT_RESPONSE_EST_MS: f64 = 120_000.0;
+
+/// Fallback supply rate (devices/ms) when the estimator has seen nothing
+/// eligible yet; keeps uncontended-JCT estimates finite.
+const MIN_RATE: f64 = 1e-9;
+
+#[derive(Debug)]
+struct JobEntry {
+    group: usize,
+    /// Unassigned demand of the current request.
+    pending: u32,
+    /// Demand of the current request as submitted.
+    demand: u32,
+    /// Total remaining work in device-rounds (from the latest request).
+    total_remaining: u64,
+    active: bool,
+    submit_time: SimTime,
+    /// Requests that reached full allocation — the job's served rounds.
+    allocs_done: u32,
+    /// Estimated total number of rounds (from the first request).
+    rounds_est: f64,
+    /// Estimated JCT without contention (fairness `sd_i`).
+    uncontended_jct_ms: f64,
+    profiler: TierProfiler,
+    tier: Option<TierRange>,
+}
+
+#[derive(Debug)]
+struct GroupRecord {
+    spec: ResourceSpec,
+}
+
+/// The Venn collaborative-learning resource manager (paper §4).
+///
+/// Composes the [`irs`] allocation plan (which job group owns each atomic
+/// region of the eligibility diagram, refreshed on every request arrival
+/// and completion) with per-job [tier-based matching](crate::matching) and
+/// the [fairness knob](crate::fairness).
+///
+/// # Examples
+///
+/// ```
+/// use venn_core::{
+///     Capacity, DeviceId, DeviceInfo, JobId, Request, ResourceSpec, Scheduler,
+///     VennConfig, VennScheduler,
+/// };
+///
+/// let mut venn = VennScheduler::new(VennConfig::default());
+/// venn.submit(Request::new(JobId::new(1), ResourceSpec::new(0.5, 0.5), 1, 1), 0);
+/// venn.submit(Request::new(JobId::new(2), ResourceSpec::any(), 1, 1), 0);
+///
+/// // A high-end device goes to the scarce-spec job, not the general one.
+/// let strong = DeviceInfo::new(DeviceId::new(1), Capacity::new(0.9, 0.9));
+/// venn.on_check_in(&strong, 10);
+/// assert_eq!(venn.assign(&strong, 10), Some(JobId::new(1)));
+/// ```
+#[derive(Debug)]
+pub struct VennScheduler {
+    config: VennConfig,
+    knob: FairnessKnob,
+    supply: SupplyEstimator,
+    jobs: HashMap<JobId, JobEntry>,
+    groups: Vec<GroupRecord>,
+    spec_to_group: HashMap<ResourceSpec, usize>,
+    plan: AllocationPlan,
+    /// Per-group job order (ascending fairness-adjusted remaining demand).
+    group_order: Vec<Vec<JobId>>,
+    /// FIFO order over active jobs, used when `use_irs` is off.
+    fifo_order: Vec<JobId>,
+    last_rebuild: SimTime,
+    rng: StdRng,
+    name: String,
+    stats: MatchingStats,
+}
+
+/// Counters describing how often tier-based matching engaged — useful for
+/// calibration and the Fig. 13 tier sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MatchingStats {
+    /// Requests for which a tier decision was evaluated.
+    pub considered: u64,
+    /// Requests that were tier-restricted.
+    pub fired: u64,
+    /// Requests whose profile was not yet ready.
+    pub not_ready: u64,
+    /// Sum of observed cost ratios `c` (over ready decisions).
+    pub cost_ratio_sum: f64,
+}
+
+impl MatchingStats {
+    /// Mean observed cost ratio `c = t_response / t_schedule`.
+    pub fn mean_cost_ratio(&self) -> f64 {
+        let ready = self.considered - self.not_ready;
+        if ready == 0 {
+            0.0
+        } else {
+            self.cost_ratio_sum / ready as f64
+        }
+    }
+}
+
+impl VennScheduler {
+    /// Creates a scheduler from `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`VennConfig::validate`]).
+    pub fn new(config: VennConfig) -> Self {
+        config.validate();
+        let name = match (config.use_irs, config.use_matching) {
+            (true, true) => "venn",
+            (true, false) => "venn-wo-match",
+            (false, true) => "venn-wo-sched",
+            (false, false) => "venn-disabled",
+        };
+        VennScheduler {
+            knob: FairnessKnob::new(config.epsilon),
+            supply: SupplyEstimator::new(config.supply_window_ms),
+            jobs: HashMap::new(),
+            groups: Vec::new(),
+            spec_to_group: HashMap::new(),
+            plan: AllocationPlan::default(),
+            group_order: Vec::new(),
+            fifo_order: Vec::new(),
+            last_rebuild: 0,
+            rng: StdRng::seed_from_u64(config.seed),
+            name: name.to_string(),
+            stats: MatchingStats::default(),
+            config,
+        }
+    }
+
+    /// Counters describing tier-matching engagement so far.
+    pub fn matching_stats(&self) -> MatchingStats {
+        self.stats
+    }
+
+    /// The scheduler configuration.
+    pub fn config(&self) -> &VennConfig {
+        &self.config
+    }
+
+    /// Number of resource-homogeneous job groups seen so far.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Number of jobs with an active request.
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.values().filter(|j| j.active).count()
+    }
+
+    /// Estimated fair-share JCT `T_i = M · sd_i` for `job`, if known.
+    ///
+    /// Exposed for the Fig. 14 fairness experiments.
+    pub fn fair_target_of(&self, job: JobId) -> Option<f64> {
+        let entry = self.jobs.get(&job)?;
+        let m = self.active_jobs().max(1);
+        Some(fair_target_ms(m, entry.uncontended_jct_ms))
+    }
+
+    fn group_index(&mut self, spec: ResourceSpec) -> usize {
+        if let Some(&g) = self.spec_to_group.get(&spec) {
+            return g;
+        }
+        let g = self.groups.len();
+        assert!(g < 128, "at most 128 distinct resource specs supported");
+        self.groups.push(GroupRecord { spec });
+        self.spec_to_group.insert(spec, g);
+        self.group_order.push(Vec::new());
+        g
+    }
+
+    /// Recomputes the allocation plan and job orders (Algorithm 1).
+    ///
+    /// Invoked on request arrival and completion — exactly the paper's
+    /// triggers — plus a periodic refresh so the plan tracks supply drift.
+    pub fn rebuild_now(&mut self, now: SimTime) {
+        self.last_rebuild = now;
+        let specs: Vec<ResourceSpec> = self.groups.iter().map(|g| g.spec).collect();
+
+        // Per-group eligible supply |S_j|.
+        let rates: Vec<f64> = specs
+            .iter()
+            .map(|s| self.supply.rate(now, s))
+            .collect();
+
+        // Fairness inputs and intra-group ordering.
+        let m_total = self.jobs.values().filter(|j| j.active).count().max(1);
+        let mut summaries: Vec<GroupSummary> = Vec::new();
+        for (g, order) in self.group_order.iter_mut().enumerate() {
+            order.clear();
+            let mut members: Vec<(f64, SimTime, JobId)> = Vec::new();
+            let mut sum_targets = 0.0;
+            let mut sum_usage = 0.0;
+            for (&id, entry) in self.jobs.iter() {
+                if !entry.active || entry.group != g {
+                    continue;
+                }
+                let target = fair_target_ms(m_total, entry.uncontended_jct_ms);
+                // Fairness time-usage t_i: the share of the job's
+                // uncontended JCT it has already been served
+                // (progress × sd_i). A starved job has low usage relative
+                // to its fair target and rises in priority.
+                let progress = (entry.allocs_done as f64 / entry.rounds_est).min(1.0);
+                let usage = progress * entry.uncontended_jct_ms;
+                // Remaining demand: the paper orders by the current request
+                // by default but prefers total remaining demand when jobs
+                // disclose it (§4.2.1) — ours do, via `Request`.
+                let remaining = (entry.total_remaining as f64).max(entry.pending as f64);
+                let adjusted = self.knob.adjusted_demand(remaining, usage, target);
+                sum_targets += target;
+                sum_usage += usage.max(1.0);
+                members.push((adjusted, entry.submit_time, id));
+            }
+            if members.is_empty() {
+                continue;
+            }
+            // Smallest adjusted remaining demand first (§4.2.1); ties by
+            // arrival then id for determinism.
+            members.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0)
+                    .expect("non-finite adjusted demand")
+                    .then(a.1.cmp(&b.1))
+                    .then(a.2.cmp(&b.2))
+            });
+            let queue_len =
+                self.knob
+                    .adjusted_queue_len(members.len() as f64, sum_targets, sum_usage);
+            *order = members.into_iter().map(|(_, _, id)| id).collect();
+            summaries.push(GroupSummary {
+                index: g,
+                eligible_supply: rates[g],
+                queue_len,
+            });
+        }
+
+        // FIFO order for the no-IRS ablation arm.
+        let mut fifo: Vec<(SimTime, JobId)> = self
+            .jobs
+            .iter()
+            .filter(|(_, e)| e.active)
+            .map(|(&id, e)| (e.submit_time, id))
+            .collect();
+        fifo.sort();
+        self.fifo_order = fifo.into_iter().map(|(_, id)| id).collect();
+
+        if self.config.use_irs {
+            let regions = self.supply.region_supplies(now, &specs);
+            self.plan = irs::allocate_with(&summaries, &regions, self.config.use_steal);
+        }
+    }
+
+    fn try_assign_job(
+        jobs: &mut HashMap<JobId, JobEntry>,
+        id: JobId,
+        device: &DeviceInfo,
+    ) -> bool {
+        let Some(entry) = jobs.get_mut(&id) else {
+            return false;
+        };
+        if !entry.active || entry.pending == 0 {
+            return false;
+        }
+        if let Some((lo, hi)) = entry.tier {
+            let s = device.score();
+            if s < lo || s >= hi {
+                return false;
+            }
+        }
+        entry.pending -= 1;
+        entry.profiler.record_participant(device.score());
+        true
+    }
+}
+
+impl Scheduler for VennScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn submit(&mut self, request: Request, now: SimTime) {
+        let group = self.group_index(request.spec);
+        let rate = self.supply.rate(now, &request.spec).max(MIN_RATE);
+        let rounds_est = (request.total_remaining as f64 / request.demand as f64).max(1.0);
+        let uncontended =
+            rounds_est * (request.demand as f64 / rate + DEFAULT_RESPONSE_EST_MS);
+
+        let tiers = self.config.tiers;
+        let use_matching = self.config.use_matching;
+        let min_samples = self.config.min_profile_samples;
+        let u = if tiers > 1 {
+            self.rng.gen_range(0..tiers)
+        } else {
+            0
+        };
+
+        let entry = self.jobs.entry(request.job).or_insert_with(|| JobEntry {
+            group,
+            pending: 0,
+            demand: 0,
+            total_remaining: 0,
+            active: false,
+            submit_time: now,
+            allocs_done: 0,
+            rounds_est: rounds_est.max(1.0),
+            uncontended_jct_ms: uncontended,
+            profiler: TierProfiler::new(),
+            tier: None,
+        });
+        entry.group = group;
+        entry.pending = request.demand;
+        entry.demand = request.demand;
+        entry.total_remaining = request.total_remaining;
+        entry.active = true;
+        entry.submit_time = now;
+        entry.tier = if use_matching && tiers > 1 {
+            self.stats.considered += 1;
+            if entry.profiler.is_ready(min_samples) {
+                self.stats.cost_ratio_sum += entry.profiler.cost_ratio().unwrap_or(0.0);
+            } else {
+                self.stats.not_ready += 1;
+            }
+            let tier = decide_tier(&entry.profiler, tiers, u, min_samples);
+            if tier.is_some() {
+                self.stats.fired += 1;
+            }
+            tier
+        } else {
+            None
+        };
+
+        self.rebuild_now(now);
+    }
+
+    fn withdraw(&mut self, job: JobId, now: SimTime) {
+        if let Some(entry) = self.jobs.get_mut(&job) {
+            if entry.active {
+                entry.active = false;
+                entry.pending = 0;
+                entry.tier = None;
+            }
+        }
+        self.rebuild_now(now);
+    }
+
+    fn add_demand(&mut self, job: JobId, count: u32, _now: SimTime) {
+        if let Some(entry) = self.jobs.get_mut(&job) {
+            if entry.active {
+                entry.pending = entry.pending.saturating_add(count);
+            }
+        }
+    }
+
+    fn on_check_in(&mut self, device: &DeviceInfo, now: SimTime) {
+        self.supply.record(now, device.capacity());
+    }
+
+    fn assign(&mut self, device: &DeviceInfo, now: SimTime) -> Option<JobId> {
+        if now.saturating_sub(self.last_rebuild) > self.config.rebuild_interval_ms {
+            self.rebuild_now(now);
+        }
+        if self.config.use_irs {
+            let specs: Vec<ResourceSpec> = self.groups.iter().map(|g| g.spec).collect();
+            let mask = SupplyEstimator::mask_of(device.capacity(), &specs);
+            if mask == 0 {
+                return None;
+            }
+            let order: Vec<usize> = self.plan.offer_order(mask).collect();
+            for g in order {
+                // `offer_order` may name a group whose bit is unset when the
+                // plan is stale; re-check eligibility.
+                if mask & (1u128 << g) == 0 {
+                    continue;
+                }
+                let candidates = self.group_order[g].clone();
+                for id in candidates {
+                    if Self::try_assign_job(&mut self.jobs, id, device) {
+                        return Some(id);
+                    }
+                }
+            }
+            None
+        } else {
+            let order = self.fifo_order.clone();
+            for id in order {
+                let eligible = self
+                    .jobs
+                    .get(&id)
+                    .map(|e| self.groups[e.group].spec.is_eligible(device.capacity()))
+                    .unwrap_or(false);
+                if eligible && Self::try_assign_job(&mut self.jobs, id, device) {
+                    return Some(id);
+                }
+            }
+            None
+        }
+    }
+
+    fn on_response(&mut self, job: JobId, device: &DeviceInfo, response_ms: u64, _now: SimTime) {
+        if let Some(entry) = self.jobs.get_mut(&job) {
+            entry.profiler.record_response(device.score(), response_ms);
+        }
+    }
+
+    fn on_alloc_complete(&mut self, job: JobId, delay_ms: u64, _now: SimTime) {
+        if let Some(entry) = self.jobs.get_mut(&job) {
+            entry.profiler.record_sched_delay(delay_ms);
+            entry.allocs_done += 1;
+        }
+    }
+
+    fn pending_demand(&self, job: JobId) -> Option<u32> {
+        self.jobs
+            .get(&job)
+            .filter(|e| e.active)
+            .map(|e| e.pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Capacity, DeviceId};
+
+    fn dev(id: u64, cpu: f64, mem: f64) -> DeviceInfo {
+        DeviceInfo::new(DeviceId::new(id), Capacity::new(cpu, mem))
+    }
+
+    fn feed_supply(s: &mut VennScheduler, now: SimTime) {
+        // Mixed population: 3 low-end for each high-end device.
+        for i in 0..40 {
+            let (cpu, mem) = if i % 4 == 0 { (0.9, 0.9) } else { (0.2, 0.2) };
+            s.on_check_in(&dev(1000 + i, cpu, mem), now);
+        }
+    }
+
+    #[test]
+    fn assigns_eligible_job_only() {
+        let mut s = VennScheduler::new(VennConfig::default());
+        s.submit(Request::new(JobId::new(1), ResourceSpec::new(0.5, 0.5), 2, 2), 0);
+        let weak = dev(1, 0.1, 0.1);
+        assert_eq!(s.assign(&weak, 1), None);
+        let strong = dev(2, 0.9, 0.9);
+        assert_eq!(s.assign(&strong, 1), Some(JobId::new(1)));
+        assert_eq!(s.pending_demand(JobId::new(1)), Some(1));
+    }
+
+    #[test]
+    fn scarce_spec_job_wins_contended_device() {
+        let mut s = VennScheduler::new(VennConfig::default());
+        feed_supply(&mut s, 0);
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 5, 5), 1);
+        s.submit(Request::new(JobId::new(2), ResourceSpec::new(0.5, 0.5), 5, 5), 1);
+        // High-end device is claimed by the high-perf job...
+        assert_eq!(s.assign(&dev(1, 0.9, 0.9), 2), Some(JobId::new(2)));
+        // ...while a low-end device can only serve the general job.
+        assert_eq!(s.assign(&dev(2, 0.1, 0.1), 2), Some(JobId::new(1)));
+    }
+
+    #[test]
+    fn smaller_demand_served_first_within_group() {
+        let mut s = VennScheduler::new(VennConfig::default());
+        feed_supply(&mut s, 0);
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 10, 10), 0);
+        s.submit(Request::new(JobId::new(2), ResourceSpec::any(), 2, 2), 0);
+        // Job 2 (smaller remaining demand) gets devices first.
+        assert_eq!(s.assign(&dev(1, 0.5, 0.5), 1), Some(JobId::new(2)));
+        assert_eq!(s.assign(&dev(2, 0.5, 0.5), 1), Some(JobId::new(2)));
+        assert_eq!(s.assign(&dev(3, 0.5, 0.5), 1), Some(JobId::new(1)));
+    }
+
+    #[test]
+    fn fallback_serves_other_groups_when_owner_idle() {
+        let mut s = VennScheduler::new(VennConfig::default());
+        feed_supply(&mut s, 0);
+        // Only a general job is active; high-end devices must still be used.
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 2, 2), 0);
+        s.submit(Request::new(JobId::new(2), ResourceSpec::new(0.5, 0.5), 1, 1), 0);
+        s.withdraw(JobId::new(2), 1); // high-perf group now empty
+        assert_eq!(s.assign(&dev(1, 0.9, 0.9), 2), Some(JobId::new(1)));
+    }
+
+    #[test]
+    fn withdraw_stops_assignment() {
+        let mut s = VennScheduler::new(VennConfig::default());
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 5, 5), 0);
+        s.withdraw(JobId::new(1), 10);
+        assert_eq!(s.assign(&dev(1, 0.5, 0.5), 11), None);
+        assert_eq!(s.pending_demand(JobId::new(1)), None);
+    }
+
+    #[test]
+    fn add_demand_restores_capacity() {
+        let mut s = VennScheduler::new(VennConfig::default());
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 1, 1), 0);
+        assert_eq!(s.assign(&dev(1, 0.5, 0.5), 1), Some(JobId::new(1)));
+        assert_eq!(s.assign(&dev(2, 0.5, 0.5), 1), None);
+        s.add_demand(JobId::new(1), 1, 2);
+        assert_eq!(s.assign(&dev(3, 0.5, 0.5), 2), Some(JobId::new(1)));
+    }
+
+    #[test]
+    fn fifo_mode_serves_in_arrival_order() {
+        let mut s = VennScheduler::new(VennConfig::matching_only());
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 10, 10), 0);
+        s.submit(Request::new(JobId::new(2), ResourceSpec::any(), 1, 1), 5);
+        // FIFO ignores remaining demand: job 1 first.
+        assert_eq!(s.assign(&dev(1, 0.5, 0.5), 6), Some(JobId::new(1)));
+    }
+
+    #[test]
+    fn unknown_job_operations_are_harmless() {
+        let mut s = VennScheduler::new(VennConfig::default());
+        s.withdraw(JobId::new(99), 0);
+        s.add_demand(JobId::new(99), 3, 0);
+        s.on_response(JobId::new(99), &dev(1, 0.5, 0.5), 100, 100);
+        assert_eq!(s.pending_demand(JobId::new(99)), None);
+    }
+
+    #[test]
+    fn resubmission_reuses_job_entry() {
+        let mut s = VennScheduler::new(VennConfig::default());
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 2, 4), 0);
+        s.withdraw(JobId::new(1), 100);
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 2, 2), 100);
+        assert_eq!(s.pending_demand(JobId::new(1)), Some(2));
+        assert_eq!(s.active_jobs(), 1);
+    }
+
+    #[test]
+    fn fairness_promotes_underserved_large_job() {
+        let mut cfg = VennConfig::with_fairness(2.0);
+        cfg.use_matching = false;
+        let mut s = VennScheduler::new(cfg);
+        feed_supply(&mut s, 0);
+        // Large job that has received no service vs small job that has
+        // already consumed far beyond its fair share.
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 50, 50), 0);
+        s.submit(Request::new(JobId::new(2), ResourceSpec::any(), 2, 2), 0);
+        // Simulate job 2 having already been served a full round while the
+        // large job received nothing.
+        s.on_alloc_complete(JobId::new(2), 1_000, 50_000);
+        s.withdraw(JobId::new(2), 50_000);
+        s.submit(Request::new(JobId::new(2), ResourceSpec::any(), 2, 2), 50_000);
+        // Under SRJF job 2 would win; with ε=2 and its fair share consumed
+        // it must yield to the untouched large job.
+        assert_eq!(s.assign(&dev(1, 0.5, 0.5), 50_001), Some(JobId::new(1)));
+    }
+
+    #[test]
+    fn name_reflects_ablation() {
+        assert_eq!(VennScheduler::new(VennConfig::default()).name(), "venn");
+        assert_eq!(
+            VennScheduler::new(VennConfig::scheduling_only()).name(),
+            "venn-wo-match"
+        );
+        assert_eq!(
+            VennScheduler::new(VennConfig::matching_only()).name(),
+            "venn-wo-sched"
+        );
+    }
+
+    #[test]
+    fn group_count_tracks_distinct_specs() {
+        let mut s = VennScheduler::new(VennConfig::default());
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 1, 1), 0);
+        s.submit(Request::new(JobId::new(2), ResourceSpec::any(), 1, 1), 0);
+        s.submit(Request::new(JobId::new(3), ResourceSpec::new(0.5, 0.0), 1, 1), 0);
+        assert_eq!(s.group_count(), 2);
+        assert_eq!(s.active_jobs(), 3);
+    }
+}

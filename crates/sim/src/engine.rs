@@ -1,0 +1,749 @@
+//! The simulation engine: wires traces, jobs, and a scheduler together.
+//!
+//! ## Round lifecycle (paper Fig. 1)
+//!
+//! 1. **Allocation / scheduling delay** — the job submits a request; each
+//!    checked-in device the scheduler assigns is *held* (connected, idle).
+//!    Held devices whose availability session ends are released and their
+//!    demand returned. There is no deadline in this phase: time spent here
+//!    *is* the scheduling delay the paper measures.
+//! 2. **Round start** — when the full demand is held, the request leaves
+//!    the scheduler, every held device starts computing, and the round
+//!    deadline (5–15 min by demand) starts ticking.
+//! 3. **Response collection** — the round succeeds when ≥ `quorum` of the
+//!    participants report back before the deadline; otherwise it aborts,
+//!    backs off briefly, and retries (devices consumed are not refunded —
+//!    aborted work is wasted, as in production).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use venn_core::{Capacity, DeviceId, DeviceInfo, JobId, Request, Scheduler, SimTime, DAY_MS};
+use venn_metrics::JctRecord;
+use venn_traces::dist::LogNormal;
+use venn_traces::{DeviceProfile, Workload};
+
+use crate::config::SimConfig;
+use crate::event::{EventKind, EventQueue};
+use crate::result::{RoundLog, SimResult};
+
+#[derive(Debug)]
+struct DeviceState {
+    profile: DeviceProfile,
+    /// End of the current availability session (0 = offline).
+    session_end: SimTime,
+    /// Held by a job or computing.
+    busy: bool,
+    /// Day index of the device's last computation (one-task-per-day cap).
+    last_task_day: Option<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobPhase {
+    /// Not yet arrived or between rounds.
+    Idle,
+    /// A round request is outstanding; devices are being held.
+    Allocating,
+    /// All participants are computing; the deadline is ticking.
+    Running,
+    /// All rounds done.
+    Finished,
+}
+
+#[derive(Debug)]
+struct JobRuntime {
+    spec: venn_core::ResourceSpec,
+    rounds_done: u32,
+    phase: JobPhase,
+    /// Request incarnation; bumped on round completion/abort so stale
+    /// events are ignored.
+    epoch: u32,
+    request_start: SimTime,
+    round_start: SimTime,
+    assigned: u32,
+    responses: u32,
+    /// Devices currently held (population indices).
+    held: Vec<usize>,
+    /// Devices that responded this round.
+    participants: Vec<usize>,
+    record: JctRecord,
+}
+
+/// One simulation run. Construct with a config, then [`Simulation::run`].
+#[derive(Debug)]
+pub struct Simulation {
+    config: SimConfig,
+}
+
+impl Simulation {
+    /// Creates a simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`SimConfig::validate`]).
+    pub fn new(config: SimConfig) -> Self {
+        config.validate();
+        Simulation { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs `workload` under `scheduler` and returns the results.
+    ///
+    /// The run is deterministic given (`config.seed`, workload, scheduler
+    /// state): the same inputs produce identical outputs.
+    pub fn run(&self, workload: &Workload, scheduler: &mut dyn Scheduler) -> SimResult {
+        let cfg = &self.config;
+        let horizon = cfg.horizon_ms();
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let profiles = cfg.capacity.sample_population(cfg.population, &mut rng);
+        let sessions = cfg.availability.generate(cfg.population, cfg.days, &mut rng);
+        let mut devices: Vec<DeviceState> = profiles
+            .into_iter()
+            .map(|profile| DeviceState {
+                profile,
+                session_end: 0,
+                busy: false,
+                last_task_day: None,
+            })
+            .collect();
+        let noise = LogNormal::from_mean_cv(1.0, cfg.response_noise_cv.max(1e-6));
+
+        let mut jobs: Vec<JobRuntime> = workload
+            .jobs
+            .iter()
+            .map(|plan| JobRuntime {
+                spec: plan.spec(cfg.thresholds),
+                rounds_done: 0,
+                phase: JobPhase::Idle,
+                epoch: 0,
+                request_start: 0,
+                round_start: 0,
+                assigned: 0,
+                responses: 0,
+                held: Vec::new(),
+                participants: Vec::new(),
+                record: JctRecord::new(plan.arrival_ms),
+            })
+            .collect();
+
+        let mut queue = EventQueue::new();
+        for s in &sessions {
+            if s.start < horizon {
+                queue.push(
+                    s.start,
+                    EventKind::SessionStart {
+                        device: s.device,
+                        session_end: s.end.min(horizon),
+                    },
+                );
+            }
+        }
+        for (idx, plan) in workload.jobs.iter().enumerate() {
+            if plan.arrival_ms < horizon {
+                queue.push(plan.arrival_ms, EventKind::JobArrival { job_idx: idx });
+            }
+        }
+
+        let mut result = SimResult {
+            scheduler_name: scheduler.name().to_string(),
+            ..SimResult::default()
+        };
+
+        while let Some(event) = queue.pop() {
+            let now = event.time;
+            if now > horizon {
+                break;
+            }
+            match event.kind {
+                EventKind::JobArrival { job_idx } | EventKind::RoundStart { job_idx } => {
+                    self.submit_round(job_idx, now, workload, &mut jobs, scheduler, &mut queue);
+                }
+                EventKind::SessionStart {
+                    device,
+                    session_end,
+                } => {
+                    let d = &mut devices[device];
+                    d.session_end = d.session_end.max(session_end);
+                    self.check_in(
+                        device, now, workload, &mut devices, &mut jobs, scheduler, &mut queue,
+                        &noise, &mut rng, &mut result,
+                    );
+                }
+                EventKind::CheckIn { device } => {
+                    self.check_in(
+                        device, now, workload, &mut devices, &mut jobs, scheduler, &mut queue,
+                        &noise, &mut rng, &mut result,
+                    );
+                }
+                EventKind::HoldExpire { job, epoch, device } => {
+                    let j = &mut jobs[job.as_u64() as usize];
+                    if j.phase == JobPhase::Allocating && j.epoch == epoch {
+                        // Device departed while held: release and re-demand.
+                        devices[device].busy = false;
+                        j.assigned = j.assigned.saturating_sub(1);
+                        j.held.retain(|&d| d != device);
+                        scheduler.add_demand(job, 1, now);
+                    }
+                }
+                EventKind::Response {
+                    job,
+                    epoch,
+                    device,
+                    response_ms,
+                } => {
+                    devices[device].busy = false;
+                    let job_idx = job.as_u64() as usize;
+                    let j = &mut jobs[job_idx];
+                    let counting_phase = if self.config.async_mode {
+                        j.phase == JobPhase::Running || j.phase == JobPhase::Allocating
+                    } else {
+                        j.phase == JobPhase::Running
+                    };
+                    if !counting_phase || j.epoch != epoch {
+                        continue; // stale response: round already over
+                    }
+                    j.responses += 1;
+                    j.participants.push(device);
+                    let dev_info = DeviceInfo::new(
+                        DeviceId::new(device as u64),
+                        devices[device].profile.capacity,
+                    );
+                    scheduler.on_response(job, &dev_info, response_ms, now);
+                    let demand = workload.jobs[job_idx].demand;
+                    if j.responses >= self.config.quorum_target(demand) {
+                        self.complete_round(
+                            job_idx, now, workload, &mut jobs, scheduler, &mut queue,
+                            &mut result,
+                        );
+                    }
+                }
+                EventKind::AssignFailure { job, epoch, device } => {
+                    // Departed mid-computation. Synchronously the deadline
+                    // arbitrates the round's fate; in async mode the still-
+                    // open request can replace the device.
+                    devices[device].busy = false;
+                    result.failures += 1;
+                    if self.config.async_mode {
+                        let j = &mut jobs[job.as_u64() as usize];
+                        if j.phase == JobPhase::Allocating && j.epoch == epoch {
+                            j.assigned = j.assigned.saturating_sub(1);
+                            scheduler.add_demand(job, 1, now);
+                        }
+                    }
+                }
+                EventKind::RoundDeadline { job, epoch } => {
+                    let job_idx = job.as_u64() as usize;
+                    let j = &mut jobs[job_idx];
+                    let armed = if self.config.async_mode {
+                        j.phase == JobPhase::Running || j.phase == JobPhase::Allocating
+                    } else {
+                        j.phase == JobPhase::Running
+                    };
+                    if !armed || j.epoch != epoch {
+                        continue;
+                    }
+                    // Quorum missed: abort and retry after a short backoff.
+                    if j.phase == JobPhase::Allocating {
+                        scheduler.withdraw(job, now);
+                    }
+                    result.aborted_rounds += 1;
+                    j.record.rounds_aborted += 1;
+                    j.phase = JobPhase::Idle;
+                    j.epoch += 1;
+                    queue.push(
+                        now + self.config.abort_backoff_ms,
+                        EventKind::RoundStart { job_idx },
+                    );
+                }
+            }
+        }
+
+        result.records = jobs.into_iter().map(|j| j.record).collect();
+        result
+    }
+
+    /// Submits the request for the job's next round (allocation phase).
+    fn submit_round(
+        &self,
+        job_idx: usize,
+        now: SimTime,
+        workload: &Workload,
+        jobs: &mut [JobRuntime],
+        scheduler: &mut dyn Scheduler,
+        _queue: &mut EventQueue,
+    ) {
+        let plan = &workload.jobs[job_idx];
+        let j = &mut jobs[job_idx];
+        if j.phase != JobPhase::Idle {
+            return;
+        }
+        j.phase = JobPhase::Allocating;
+        j.request_start = now;
+        j.assigned = 0;
+        j.responses = 0;
+        j.held.clear();
+        j.participants.clear();
+        let remaining_rounds = plan.rounds - j.rounds_done;
+        let requested = self.config.requested(plan.demand);
+        scheduler.submit(
+            Request::new(
+                JobId::new(job_idx as u64),
+                j.spec,
+                requested,
+                remaining_rounds as u64 * plan.demand as u64,
+            ),
+            now,
+        );
+        // Async rounds carry no deadline: like buffered-asynchronous FL,
+        // the aggregation fires whenever the quorum of updates arrives, so
+        // participants computed for a round are never wasted. (Sync rounds
+        // arm their deadline at round start — see `start_round`.)
+    }
+
+    /// All participants held: start computing, arm the deadline.
+    #[allow(clippy::too_many_arguments)]
+    fn start_round(
+        &self,
+        job_idx: usize,
+        now: SimTime,
+        workload: &Workload,
+        devices: &mut [DeviceState],
+        jobs: &mut [JobRuntime],
+        scheduler: &mut dyn Scheduler,
+        queue: &mut EventQueue,
+        noise: &LogNormal,
+        rng: &mut StdRng,
+    ) {
+        let plan = &workload.jobs[job_idx];
+        let job = JobId::new(job_idx as u64);
+        let j = &mut jobs[job_idx];
+        j.phase = JobPhase::Running;
+        j.round_start = now;
+        scheduler.on_alloc_complete(job, now - j.request_start, now);
+        scheduler.withdraw(job, now);
+        let today = now / DAY_MS;
+        for &device in &j.held {
+            let d = &mut devices[device];
+            d.last_task_day = Some(today);
+            let response_ms =
+                (plan.task_ms as f64 / d.profile.speed * noise.sample(rng)).max(1_000.0) as u64;
+            if now + response_ms <= d.session_end {
+                queue.push(
+                    now + response_ms,
+                    EventKind::Response {
+                        job,
+                        epoch: j.epoch,
+                        device,
+                        response_ms,
+                    },
+                );
+            } else {
+                queue.push(
+                    d.session_end,
+                    EventKind::AssignFailure {
+                        job,
+                        epoch: j.epoch,
+                        device,
+                    },
+                );
+            }
+        }
+        queue.push(
+            now + self.config.deadline_ms(plan.demand),
+            EventKind::RoundDeadline {
+                job,
+                epoch: j.epoch,
+            },
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn complete_round(
+        &self,
+        job_idx: usize,
+        now: SimTime,
+        workload: &Workload,
+        jobs: &mut [JobRuntime],
+        scheduler: &mut dyn Scheduler,
+        queue: &mut EventQueue,
+        result: &mut SimResult,
+    ) {
+        let plan = &workload.jobs[job_idx];
+        let j = &mut jobs[job_idx];
+        if j.phase == JobPhase::Allocating {
+            // Async quorum before full allocation: close the open request.
+            scheduler.withdraw(JobId::new(job_idx as u64), now);
+            j.round_start = now;
+        }
+        j.record.sched_delay_ms += j.round_start - j.request_start;
+        j.record.response_ms += now - j.round_start;
+        j.record.rounds_completed += 1;
+        if self.config.record_rounds {
+            result.rounds.push(RoundLog {
+                job_idx,
+                round: j.rounds_done,
+                start_ms: j.request_start,
+                end_ms: now,
+                participants: j.participants.clone(),
+            });
+        }
+        j.rounds_done += 1;
+        j.epoch += 1;
+        if j.rounds_done >= plan.rounds {
+            j.phase = JobPhase::Finished;
+            j.record.finish(now);
+        } else {
+            j.phase = JobPhase::Idle;
+            queue.push(
+                now + self.config.agg_delay_ms,
+                EventKind::RoundStart { job_idx },
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_in(
+        &self,
+        device: usize,
+        now: SimTime,
+        workload: &Workload,
+        devices: &mut [DeviceState],
+        jobs: &mut [JobRuntime],
+        scheduler: &mut dyn Scheduler,
+        queue: &mut EventQueue,
+        noise: &LogNormal,
+        rng: &mut StdRng,
+        result: &mut SimResult,
+    ) {
+        let today = now / DAY_MS;
+        {
+            let d = &devices[device];
+            if d.busy || now >= d.session_end {
+                return;
+            }
+            if self.config.one_task_per_day && d.last_task_day == Some(today) {
+                return; // exhausted its daily task; next session wakes it
+            }
+        }
+        let capacity: Capacity = devices[device].profile.capacity;
+        let info = DeviceInfo::new(DeviceId::new(device as u64), capacity);
+        scheduler.on_check_in(&info, now);
+        match scheduler.assign(&info, now) {
+            Some(job) => {
+                let job_idx = job.as_u64() as usize;
+                assert!(job_idx < jobs.len(), "scheduler assigned unknown job");
+                let j = &mut jobs[job_idx];
+                assert!(
+                    j.phase == JobPhase::Allocating,
+                    "scheduler assigned to a job without an active request"
+                );
+                result.assignments += 1;
+                j.assigned += 1;
+                if self.config.async_mode {
+                    // Async: compute immediately, no holding phase.
+                    let d = &mut devices[device];
+                    d.busy = true;
+                    d.last_task_day = Some(today);
+                    let task_ms = workload.jobs[job_idx].task_ms as f64;
+                    let response_ms =
+                        (task_ms / d.profile.speed * noise.sample(rng)).max(1_000.0) as u64;
+                    let kind = if now + response_ms <= d.session_end {
+                        EventKind::Response {
+                            job,
+                            epoch: j.epoch,
+                            device,
+                            response_ms,
+                        }
+                    } else {
+                        EventKind::AssignFailure {
+                            job,
+                            epoch: j.epoch,
+                            device,
+                        }
+                    };
+                    let at = (now + response_ms).min(d.session_end);
+                    queue.push(at, kind);
+                    let requested = self.config.requested(workload.jobs[job_idx].demand);
+                    if j.assigned >= requested && j.phase == JobPhase::Allocating {
+                        // Request filled: stop queueing, record the delay.
+                        j.phase = JobPhase::Running;
+                        j.round_start = now;
+                        scheduler.on_alloc_complete(job, now - j.request_start, now);
+                        scheduler.withdraw(job, now);
+                    }
+                    return;
+                }
+                j.held.push(device);
+                devices[device].busy = true;
+                queue.push(
+                    devices[device].session_end,
+                    EventKind::HoldExpire {
+                        job,
+                        epoch: j.epoch,
+                        device,
+                    },
+                );
+                let requested = self.config.requested(workload.jobs[job_idx].demand);
+                if j.assigned >= requested {
+                    self.start_round(
+                        job_idx, now, workload, devices, jobs, scheduler, queue, noise, rng,
+                    );
+                }
+            }
+            None => {
+                // Stay online and poll again later.
+                let next = now + self.config.repoll_ms;
+                if next < devices[device].session_end {
+                    queue.push(next, EventKind::CheckIn { device });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use venn_core::SpecCategory;
+    use venn_traces::{JobDemandModel, JobPlan, Workload, WorkloadKind};
+
+    fn tiny_workload(n: usize, demand: u32, rounds: u32) -> Workload {
+        let jobs = (0..n)
+            .map(|i| JobPlan {
+                id: JobId::new(i as u64),
+                arrival_ms: 1_000 * i as SimTime,
+                category: SpecCategory::General,
+                rounds,
+                demand,
+                task_ms: 30_000,
+            })
+            .collect();
+        Workload { jobs }
+    }
+
+    fn run_fifo(workload: &Workload, config: SimConfig) -> SimResult {
+        let mut sched = venn_baselines::BaselineScheduler::fifo();
+        Simulation::new(config).run(workload, &mut sched)
+    }
+
+    #[test]
+    fn small_jobs_finish() {
+        let w = tiny_workload(3, 5, 2);
+        let r = run_fifo(&w, SimConfig::small());
+        assert_eq!(r.records.len(), 3);
+        assert!(
+            r.completion_rate() > 0.99,
+            "tiny jobs must all finish: {:?}",
+            r.records
+        );
+        for rec in &r.records {
+            assert_eq!(rec.rounds_completed, 2);
+            assert!(rec.jct_ms().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let w = tiny_workload(4, 8, 3);
+        let a = run_fifo(&w, SimConfig::small());
+        let b = run_fifo(&w, SimConfig::small());
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.aborted_rounds, b.aborted_rounds);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w = tiny_workload(4, 8, 3);
+        let a = run_fifo(&w, SimConfig::small());
+        let b = run_fifo(
+            &w,
+            SimConfig {
+                seed: 1234,
+                ..SimConfig::small()
+            },
+        );
+        assert_ne!(
+            a.records, b.records,
+            "environment seed must affect outcomes"
+        );
+    }
+
+    #[test]
+    fn infeasible_demand_never_finishes() {
+        // Demand larger than the whole population can never be fully held.
+        let w = tiny_workload(1, 5_000, 1);
+        let r = run_fifo(
+            &w,
+            SimConfig {
+                population: 50,
+                days: 1,
+                ..SimConfig::small()
+            },
+        );
+        assert_eq!(r.completion_rate(), 0.0);
+        // With the Fig. 1 lifecycle the job waits in allocation (growing
+        // scheduling delay) rather than abort-looping.
+        assert_eq!(r.records[0].rounds_completed, 0);
+    }
+
+    #[test]
+    fn sched_delay_and_response_are_recorded() {
+        let w = tiny_workload(2, 10, 2);
+        let r = run_fifo(&w, SimConfig::small());
+        for rec in r.records.iter().filter(|r| r.is_finished()) {
+            assert!(rec.response_ms > 0, "responses take time");
+            let jct = rec.jct_ms().unwrap();
+            assert!(rec.sched_delay_ms + rec.response_ms <= jct);
+        }
+    }
+
+    #[test]
+    fn round_logs_capture_participants() {
+        let w = tiny_workload(1, 5, 2);
+        let mut sched = venn_baselines::BaselineScheduler::fifo();
+        let config = SimConfig {
+            record_rounds: true,
+            ..SimConfig::small()
+        };
+        let r = Simulation::new(config).run(&w, &mut sched);
+        assert_eq!(r.rounds.len(), 2);
+        for log in &r.rounds {
+            assert!(log.participants.len() >= 4); // quorum of 5 = 4
+            assert!(log.end_ms > log.start_ms);
+        }
+    }
+
+    #[test]
+    fn venn_scheduler_runs_end_to_end() {
+        let w = tiny_workload(3, 5, 2);
+        let mut sched = venn_core::VennScheduler::new(venn_core::VennConfig::default());
+        let r = Simulation::new(SimConfig::small()).run(&w, &mut sched);
+        assert!(r.completion_rate() > 0.99, "{:?}", r.records);
+        assert_eq!(r.scheduler_name, "venn");
+    }
+
+    #[test]
+    fn contended_workload_produces_scheduling_delay() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let w = Workload::generate(
+            WorkloadKind::Even,
+            None,
+            8,
+            &JobDemandModel {
+                demand_mean: 30.0,
+                demand_max: 60,
+                rounds_mean: 3.0,
+                rounds_max: 5,
+                ..JobDemandModel::default()
+            },
+            60_000.0, // rapid arrivals → contention
+            &mut rng,
+        );
+        let r = run_fifo(
+            &w,
+            SimConfig {
+                population: 800,
+                days: 4,
+                ..SimConfig::small()
+            },
+        );
+        let b = r.breakdown();
+        assert!(b.finished() > 0);
+        assert!(
+            b.avg_sched_delay_ms() > 0.0,
+            "contention must show up as scheduling delay"
+        );
+    }
+
+    #[test]
+    fn async_mode_completes_rounds() {
+        let w = tiny_workload(3, 8, 3);
+        let r = run_fifo(
+            &w,
+            SimConfig {
+                async_mode: true,
+                ..SimConfig::small()
+            },
+        );
+        assert!(r.completion_rate() > 0.99, "{:?}", r.records);
+        for rec in &r.records {
+            assert_eq!(rec.rounds_completed, 3);
+        }
+    }
+
+    #[test]
+    fn async_mode_is_never_slower_to_first_quorum() {
+        // With the same environment, async rounds can complete on quorum
+        // before full allocation, so per-round latency is at most sync's.
+        let w = tiny_workload(2, 10, 2);
+        let sync = run_fifo(&w, SimConfig::small());
+        let asy = run_fifo(
+            &w,
+            SimConfig {
+                async_mode: true,
+                ..SimConfig::small()
+            },
+        );
+        assert!(asy.completion_rate() > 0.99);
+        assert!(sync.completion_rate() > 0.99);
+        // Both complete; async JCT is typically smaller but at minimum the
+        // run must be well-formed. Compare to within 2x to bound noise.
+        let a = asy.avg_jct_ms();
+        let s = sync.avg_jct_ms();
+        assert!(a <= s * 2.0, "async {a} vs sync {s}");
+    }
+
+    #[test]
+    fn overcommit_requests_extra_devices() {
+        let w = tiny_workload(1, 10, 1);
+        let base = run_fifo(&w, SimConfig::small());
+        let over = run_fifo(
+            &w,
+            SimConfig {
+                overcommit: 0.3,
+                ..SimConfig::small()
+            },
+        );
+        assert!(
+            over.assignments > base.assignments,
+            "overcommit must hold more devices: {} vs {}",
+            over.assignments,
+            base.assignments
+        );
+        assert!(over.completion_rate() > 0.99);
+    }
+
+    #[test]
+    fn one_task_per_day_caps_assignments() {
+        let w = tiny_workload(1, 5, 20);
+        let capped = run_fifo(
+            &w,
+            SimConfig {
+                population: 40,
+                days: 2,
+                ..SimConfig::small()
+            },
+        );
+        let uncapped = run_fifo(
+            &w,
+            SimConfig {
+                population: 40,
+                days: 2,
+                one_task_per_day: false,
+                ..SimConfig::small()
+            },
+        );
+        assert!(
+            uncapped.records[0].rounds_completed >= capped.records[0].rounds_completed,
+            "lifting the daily cap cannot slow progress"
+        );
+    }
+}

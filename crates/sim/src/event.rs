@@ -1,0 +1,145 @@
+//! The simulation event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use venn_core::{JobId, SimTime};
+
+/// What happens at an event's firing time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job from the workload arrives and submits its first round.
+    JobArrival { job_idx: usize },
+    /// A device availability session begins.
+    SessionStart { device: usize, session_end: SimTime },
+    /// An online, idle device polls the resource manager.
+    CheckIn { device: usize },
+    /// A held (allocated but not yet computing) device's session ends.
+    HoldExpire {
+        job: JobId,
+        epoch: u32,
+        device: usize,
+    },
+    /// A device finishes its task and reports back.
+    Response {
+        job: JobId,
+        epoch: u32,
+        device: usize,
+        response_ms: u64,
+    },
+    /// A device departed before finishing its task.
+    AssignFailure {
+        job: JobId,
+        epoch: u32,
+        device: usize,
+    },
+    /// The deadline of a round request fires.
+    RoundDeadline { job: JobId, epoch: u32 },
+    /// A job starts its next round (after aggregation or an abort).
+    RoundStart { job_idx: usize },
+}
+
+/// A scheduled event. Ordered by time, then by insertion sequence so
+/// simultaneous events fire in a deterministic order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Firing time.
+    pub time: SimTime,
+    /// Tie-breaking insertion sequence number.
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse so BinaryHeap pops the *earliest* event.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Min-heap of events with deterministic tie-breaking.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    pub fn push(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, EventKind::CheckIn { device: 3 });
+        q.push(10, EventKind::CheckIn { device: 1 });
+        q.push(20, EventKind::CheckIn { device: 2 });
+        let times: Vec<SimTime> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for d in 0..5 {
+            q.push(7, EventKind::CheckIn { device: d });
+        }
+        let devices: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::CheckIn { device } => device,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(devices, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, EventKind::RoundStart { job_idx: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+}

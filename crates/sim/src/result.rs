@@ -1,0 +1,89 @@
+//! Simulation outputs.
+
+use venn_core::SimTime;
+use venn_metrics::{JctBreakdown, JctRecord};
+
+/// One completed round, logged when `record_rounds` is enabled — the hook
+/// the federated-learning experiments (Figs. 4, 9) consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundLog {
+    /// Index of the job in the workload.
+    pub job_idx: usize,
+    /// Round number (0-based) within the job.
+    pub round: u32,
+    /// When the round's request was submitted.
+    pub start_ms: SimTime,
+    /// When the round reached quorum.
+    pub end_ms: SimTime,
+    /// Devices that responded in time (population indices).
+    pub participants: Vec<usize>,
+}
+
+/// Everything a simulation run produces.
+#[derive(Debug, Clone, Default)]
+pub struct SimResult {
+    /// Scheduler under test.
+    pub scheduler_name: String,
+    /// Per-job completion records (index = workload job index).
+    pub records: Vec<JctRecord>,
+    /// Per-round logs, when enabled.
+    pub rounds: Vec<RoundLog>,
+    /// Rounds that missed their deadline and retried.
+    pub aborted_rounds: u64,
+    /// Total device assignments handed out.
+    pub assignments: u64,
+    /// Assignments that failed (device departed mid-task).
+    pub failures: u64,
+}
+
+impl SimResult {
+    /// Aggregated JCT statistics over all jobs.
+    pub fn breakdown(&self) -> JctBreakdown {
+        let mut b = JctBreakdown::new();
+        for r in &self.records {
+            b.add(r);
+        }
+        b
+    }
+
+    /// Average JCT in milliseconds over finished jobs.
+    pub fn avg_jct_ms(&self) -> f64 {
+        self.breakdown().avg_jct_ms()
+    }
+
+    /// Fraction of jobs that finished within the horizon.
+    pub fn completion_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.is_finished()).count() as f64
+            / self.records.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_aggregates_records() {
+        let mut r1 = JctRecord::new(0);
+        r1.finish(100);
+        let r2 = JctRecord::new(0); // unfinished
+        let res = SimResult {
+            scheduler_name: "test".into(),
+            records: vec![r1, r2],
+            ..SimResult::default()
+        };
+        assert_eq!(res.breakdown().finished(), 1);
+        assert_eq!(res.avg_jct_ms(), 100.0);
+        assert_eq!(res.completion_rate(), 0.5);
+    }
+
+    #[test]
+    fn empty_result_is_safe() {
+        let res = SimResult::default();
+        assert_eq!(res.completion_rate(), 0.0);
+        assert_eq!(res.avg_jct_ms(), 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Diurnal device availability (substitute for the FedScale trace).
+//!
+//! Figure 2a of the paper shows the fraction of available devices (charging
+//! + WiFi) swinging diurnally between roughly 15 % and 30 % of the
+//! population over a multi-day horizon. [`AvailabilityModel`] generates
+//! per-device availability *sessions* from a sinusoidal daily intensity:
+//! each device independently starts 0–2 sessions per day, biased toward the
+//! nightly charging peak, with log-normal session durations. The union of
+//! sessions reproduces the diurnal supply curve the scheduler observes.
+
+use rand::Rng;
+
+use venn_core::{SimTime, DAY_MS, HOUR_MS};
+
+use crate::dist::LogNormal;
+
+/// One availability window of one device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Session {
+    /// Index of the device in the population.
+    pub device: usize,
+    /// When the device checks in.
+    pub start: SimTime,
+    /// When the device departs (battery unplugged, WiFi lost...).
+    pub end: SimTime,
+}
+
+impl Session {
+    /// Session length in milliseconds.
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// Generator of diurnal availability sessions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityModel {
+    /// Expected number of sessions a device starts per day.
+    pub sessions_per_day: f64,
+    /// Hour of day (0-24) at which session starts peak.
+    pub peak_hour: f64,
+    /// Peak-to-trough ratio of the diurnal start-time density (≥ 1).
+    pub diurnal_strength: f64,
+    /// Mean session duration in milliseconds.
+    pub mean_session_ms: f64,
+    /// Coefficient of variation of session durations.
+    pub duration_cv: f64,
+}
+
+impl Default for AvailabilityModel {
+    fn default() -> Self {
+        AvailabilityModel {
+            sessions_per_day: 1.5,
+            peak_hour: 22.0, // overnight charging
+            diurnal_strength: 3.0,
+            mean_session_ms: 3.0 * HOUR_MS as f64,
+            duration_cv: 0.8,
+        }
+    }
+}
+
+impl AvailabilityModel {
+    /// Relative session-start intensity at millisecond `t` (peak = 1.0).
+    pub fn intensity(&self, t: SimTime) -> f64 {
+        let hour = (t % DAY_MS) as f64 / HOUR_MS as f64;
+        let phase = (hour - self.peak_hour) / 24.0 * std::f64::consts::TAU;
+        // Cosine between trough (1/strength) and peak (1.0).
+        let lo = 1.0 / self.diurnal_strength;
+        lo + (1.0 - lo) * (0.5 + 0.5 * phase.cos())
+    }
+
+    /// Samples a session start hour of day via rejection against the
+    /// diurnal intensity.
+    fn sample_start_in_day<R: Rng + ?Sized>(&self, rng: &mut R) -> SimTime {
+        loop {
+            let t = rng.gen_range(0..DAY_MS);
+            if rng.gen::<f64>() < self.intensity(t) {
+                return t;
+            }
+        }
+    }
+
+    /// Generates the availability sessions of a population of `population`
+    /// devices over `days` days, sorted by start time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `days == 0`.
+    pub fn generate<R: Rng + ?Sized>(
+        &self,
+        population: usize,
+        days: u32,
+        rng: &mut R,
+    ) -> Vec<Session> {
+        assert!(days > 0, "horizon must cover at least one day");
+        let duration = LogNormal::from_mean_cv(self.mean_session_ms, self.duration_cv);
+        let mut sessions = Vec::new();
+        for device in 0..population {
+            for day in 0..days as u64 {
+                // Bernoulli split of the expected rate into 0..=2 sessions.
+                let mut count = 0usize;
+                let lambda = self.sessions_per_day;
+                if rng.gen::<f64>() < (lambda / 2.0).min(1.0) {
+                    count += 1;
+                }
+                if rng.gen::<f64>() < (lambda / 2.0).min(1.0) {
+                    count += 1;
+                }
+                for _ in 0..count {
+                    let start = day * DAY_MS + self.sample_start_in_day(rng);
+                    let dur = duration.sample(rng).max(5.0 * 60_000.0) as SimTime;
+                    sessions.push(Session {
+                        device,
+                        start,
+                        end: start + dur,
+                    });
+                }
+            }
+        }
+        sessions.sort_by_key(|s| (s.start, s.device));
+        sessions
+    }
+
+    /// Fraction of the population online at each sampled timestamp —
+    /// regenerates the Fig. 2a curve.
+    pub fn online_fraction_curve(
+        sessions: &[Session],
+        population: usize,
+        horizon_ms: SimTime,
+        step_ms: SimTime,
+    ) -> Vec<(SimTime, f64)> {
+        assert!(step_ms > 0, "step must be positive");
+        let mut curve = Vec::new();
+        let mut t = 0;
+        while t <= horizon_ms {
+            let online = sessions
+                .iter()
+                .filter(|s| s.start <= t && t < s.end)
+                .count();
+            curve.push((t, online as f64 / population.max(1) as f64));
+            t += step_ms;
+        }
+        curve
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sessions_are_well_formed_and_sorted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sessions = AvailabilityModel::default().generate(200, 3, &mut rng);
+        assert!(!sessions.is_empty());
+        for s in &sessions {
+            assert!(s.end > s.start);
+            assert!(s.device < 200);
+        }
+        assert!(sessions.windows(2).all(|w| w[0].start <= w[1].start));
+    }
+
+    #[test]
+    fn intensity_peaks_at_peak_hour() {
+        let m = AvailabilityModel::default();
+        let peak_t = (m.peak_hour * HOUR_MS as f64) as SimTime;
+        let trough_t = ((m.peak_hour + 12.0) % 24.0 * HOUR_MS as f64) as SimTime;
+        assert!(m.intensity(peak_t) > 0.99);
+        let expected_trough = 1.0 / m.diurnal_strength;
+        assert!((m.intensity(trough_t) - expected_trough).abs() < 0.01);
+    }
+
+    #[test]
+    fn supply_is_diurnal() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = AvailabilityModel::default();
+        let pop = 2_000;
+        let sessions = m.generate(pop, 4, &mut rng);
+        let curve =
+            AvailabilityModel::online_fraction_curve(&sessions, pop, 4 * DAY_MS, HOUR_MS);
+        // Skip day 0 warm-up (no sessions carry in from "yesterday").
+        let steady: Vec<f64> = curve
+            .iter()
+            .filter(|(t, _)| *t >= DAY_MS)
+            .map(|(_, f)| *f)
+            .collect();
+        let max = steady.iter().cloned().fold(0.0, f64::max);
+        let min = steady.iter().cloned().fold(1.0, f64::min);
+        assert!(max > 1.5 * min, "diurnal swing expected: min={min} max={max}");
+        // Magnitudes in the Fig. 2a ballpark (a few percent to tens of %).
+        assert!(max < 0.6 && max > 0.05, "online fraction peak {max}");
+    }
+
+    #[test]
+    fn session_count_scales_with_rate() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let low = AvailabilityModel {
+            sessions_per_day: 0.4,
+            ..AvailabilityModel::default()
+        };
+        let high = AvailabilityModel {
+            sessions_per_day: 2.0,
+            ..AvailabilityModel::default()
+        };
+        let nl = low.generate(500, 2, &mut rng).len();
+        let nh = high.generate(500, 2, &mut rng).len();
+        assert!(nh > 3 * nl, "low={nl} high={nh}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let m = AvailabilityModel::default();
+        let a = m.generate(50, 2, &mut StdRng::seed_from_u64(9));
+        let b = m.generate(50, 2, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one day")]
+    fn zero_days_panics() {
+        AvailabilityModel::default().generate(1, 0, &mut StdRng::seed_from_u64(0));
+    }
+}

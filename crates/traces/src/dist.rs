@@ -1,0 +1,268 @@
+//! Distribution samplers built on uniform draws.
+//!
+//! Implemented from scratch (Box–Muller, inversion, Knuth) so the workspace
+//! only depends on `rand`'s uniform source. Each distribution is a small
+//! value type with a `sample` method, mirroring `rand_distr`'s API shape.
+
+use rand::Rng;
+
+/// Normal distribution via the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::{rngs::StdRng, SeedableRng};
+/// use venn_traces::dist::Normal;
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let n = Normal::new(10.0, 2.0);
+/// let x = n.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "invalid normal parameters"
+        );
+        Normal { mean, std_dev }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; u1 is kept away from 0 so ln is finite.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Log-normal distribution parameterized by the underlying normal.
+///
+/// Device response times follow a log-normal (paper §4.3, citing FLINT), as
+/// do the job demand marginals we fit to Fig. 8b.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    inner: Normal,
+}
+
+impl LogNormal {
+    /// Creates from the *log-space* mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Normal::new`].
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        LogNormal {
+            inner: Normal::new(mu, sigma),
+        }
+    }
+
+    /// Creates a log-normal with the given *linear-space* mean and
+    /// coefficient of variation (`cv = std/mean`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean <= 0` or `cv < 0`.
+    pub fn from_mean_cv(mean: f64, cv: f64) -> Self {
+        assert!(mean > 0.0 && cv >= 0.0, "invalid log-normal parameters");
+        let sigma2 = (1.0 + cv * cv).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        LogNormal::new(mu, sigma2.sqrt())
+    }
+
+    /// Draws one sample (always positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+}
+
+/// Exponential distribution (inter-arrival times of Poisson processes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential with events per unit time `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        Exponential { rate }
+    }
+
+    /// Creates from the mean inter-arrival time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not strictly positive and finite.
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be positive");
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// Draws one sample (inversion method).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -u.ln() / self.rate
+    }
+}
+
+/// Poisson distribution (counts per interval).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson with mean `lambda`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is negative or non-finite.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda.is_finite() && lambda >= 0.0, "invalid lambda");
+        Poisson { lambda }
+    }
+
+    /// Draws one count. Uses Knuth's method for small `lambda` and a
+    /// normal approximation above 64 (error is negligible there).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        if self.lambda > 64.0 {
+            let n = Normal::new(self.lambda, self.lambda.sqrt()).sample(rng);
+            return n.round().max(0.0) as u64;
+        }
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_var(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Normal::new(5.0, 2.0);
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, v) = mean_var(&samples);
+        assert!((m - 5.0).abs() < 0.1, "mean {m}");
+        assert!((v - 4.0).abs() < 0.3, "var {v}");
+    }
+
+    #[test]
+    fn lognormal_is_positive_and_matches_mean() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = LogNormal::from_mean_cv(10.0, 0.5);
+        let samples: Vec<f64> = (0..40_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let (m, _) = mean_var(&samples);
+        assert!((m - 10.0).abs() < 0.3, "mean {m}");
+    }
+
+    #[test]
+    fn lognormal_cv_controls_spread() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let narrow = LogNormal::from_mean_cv(10.0, 0.1);
+        let wide = LogNormal::from_mean_cv(10.0, 2.0);
+        let ns: Vec<f64> = (0..10_000).map(|_| narrow.sample(&mut rng)).collect();
+        let ws: Vec<f64> = (0..10_000).map(|_| wide.sample(&mut rng)).collect();
+        assert!(mean_var(&ns).1 < mean_var(&ws).1);
+    }
+
+    #[test]
+    fn exponential_matches_mean() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let d = Exponential::from_mean(30.0);
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let (m, _) = mean_var(&samples);
+        assert!((m - 30.0).abs() < 1.0, "mean {m}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn poisson_small_lambda_matches_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Poisson::new(3.0);
+        let total: u64 = (0..20_000).map(|_| d.sample(&mut rng)).sum();
+        let mean = total as f64 / 20_000.0;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_approx() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = Poisson::new(400.0);
+        let total: u64 = (0..5_000).map(|_| d.sample(&mut rng)).sum();
+        let mean = total as f64 / 5_000.0;
+        assert!((mean - 400.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_lambda_is_zero() {
+        let mut rng = StdRng::seed_from_u64(13);
+        assert_eq!(Poisson::new(0.0).sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Normal::new(0.0, 1.0);
+        let a: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..5).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = StdRng::seed_from_u64(42);
+            (0..5).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        Exponential::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid normal parameters")]
+    fn negative_std_panics() {
+        Normal::new(0.0, -1.0);
+    }
+}

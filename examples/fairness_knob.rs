@@ -1,0 +1,61 @@
+//! The starvation-prevention knob: sweep ε and watch the trade-off between
+//! average JCT and large-job starvation — a miniature of the paper's
+//! Figure 14 / §4.4.
+//!
+//! Run: `cargo run --release --example fairness_knob`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use venn::core::{VennConfig, VennScheduler, MINUTE_MS};
+use venn::sim::{SimConfig, Simulation};
+use venn::traces::{JobDemandModel, Workload, WorkloadKind};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(21);
+    let workload = Workload::generate(
+        WorkloadKind::Even,
+        None,
+        16,
+        &JobDemandModel::default(),
+        10.0 * MINUTE_MS as f64,
+        &mut rng,
+    );
+    let config = SimConfig {
+        population: 2_000,
+        days: 6,
+        ..SimConfig::default()
+    };
+
+    // The job with the largest total demand is the starvation candidate.
+    let biggest = (0..workload.jobs.len())
+        .max_by_key(|&i| workload.jobs[i].total_demand())
+        .expect("non-empty workload");
+    println!(
+        "largest job: #{} with {} device-rounds\n",
+        biggest,
+        workload.jobs[biggest].total_demand()
+    );
+    println!("epsilon   avg JCT (min)   largest job JCT (min)");
+    println!("------------------------------------------------");
+    for epsilon in [0.0, 1.0, 2.0, 4.0] {
+        let mut venn = VennScheduler::new(VennConfig {
+            epsilon,
+            ..VennConfig::default()
+        });
+        let result = Simulation::new(config).run(&workload, &mut venn);
+        let big_jct = result.records[biggest]
+            .jct_ms()
+            .map(|v| format!("{:.1}", v as f64 / 60_000.0))
+            .unwrap_or_else(|| "unfinished".to_string());
+        println!(
+            "{:>7} {:>15.1} {:>23}",
+            epsilon,
+            result.avg_jct_ms() / 60_000.0,
+            big_jct
+        );
+        // The scheduler exposes its fairness targets for inspection:
+        let _ = venn.fair_target_of(venn_core::JobId::new(biggest as u64));
+    }
+    println!("\n(higher epsilon trades average JCT for protection of large jobs)");
+}

@@ -1,0 +1,8 @@
+//! Facade crate re-exporting the whole Venn workspace.
+pub use venn_baselines as baselines;
+pub use venn_core as core;
+pub use venn_fl as fl;
+pub use venn_metrics as metrics;
+pub use venn_opt as opt;
+pub use venn_sim as sim;
+pub use venn_traces as traces;

@@ -1,0 +1,42 @@
+//! Freezing a workload to TSV and replaying it must reproduce the exact
+//! same simulation outcome — the reproducibility contract behind
+//! `vennsim --save/--load`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use venn::core::{VennConfig, VennScheduler};
+use venn::sim::{SimConfig, Simulation};
+use venn::traces::io::{from_tsv, to_tsv};
+use venn::traces::Workload;
+
+#[test]
+fn frozen_workload_replays_identically() {
+    let mut rng = StdRng::seed_from_u64(17);
+    let original = Workload::default_scenario(10, &mut rng);
+    let thawed = from_tsv(&to_tsv(&original)).expect("roundtrip");
+    assert_eq!(original, thawed);
+
+    let config = SimConfig {
+        population: 1_000,
+        days: 4,
+        ..SimConfig::default()
+    };
+    let run = |w: &Workload| {
+        let mut sched = VennScheduler::new(VennConfig::default());
+        Simulation::new(config).run(w, &mut sched)
+    };
+    let a = run(&original);
+    let b = run(&thawed);
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.assignments, b.assignments);
+}
+
+#[test]
+fn tsv_is_stable_under_double_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(18);
+    let w = Workload::default_scenario(25, &mut rng);
+    let once = to_tsv(&w);
+    let twice = to_tsv(&from_tsv(&once).expect("parse"));
+    assert_eq!(once, twice);
+}
