@@ -1,14 +1,18 @@
 //! Criterion bench behind Figure 10: latency of one scheduling trigger
 //! (Algorithm 1 rebuild) and of one device assignment, as the number of
-//! jobs and job groups scales.
+//! jobs and job groups scales — plus whole-simulation throughput
+//! (events/sec through the `World` kernel), the perf-trajectory number
+//! recorded in `CHANGES.md`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use venn_bench::{run, Experiment, SchedKind};
 use venn_core::{
     Capacity, DeviceId, DeviceInfo, JobId, Request, ResourceSpec, Scheduler, VennConfig,
     VennScheduler,
 };
+use venn_traces::WorkloadKind;
 
 fn loaded_scheduler(jobs: usize, groups: usize) -> VennScheduler {
     let mut rng = StdRng::seed_from_u64(7);
@@ -84,10 +88,28 @@ fn bench_assign(c: &mut Criterion) {
     });
 }
 
+/// End-to-end kernel throughput: full smoke simulations, reported as
+/// events dispatched per second (`elem/s`).
+fn bench_sim_events_per_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_events_per_sec");
+    for kind in [SchedKind::Fifo, SchedKind::Venn] {
+        let exp = Experiment::smoke(WorkloadKind::Even, 11);
+        // One calibration run pins the deterministic event count so the
+        // timed runs can be reported as events/sec.
+        let events = run(&exp, kind).events;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &exp, |b, exp| {
+            b.iter(|| run(exp, kind));
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_rebuild_vs_jobs,
     bench_rebuild_vs_groups,
-    bench_assign
+    bench_assign,
+    bench_sim_events_per_sec
 );
 criterion_main!(benches);

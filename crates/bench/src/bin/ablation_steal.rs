@@ -11,7 +11,9 @@ use venn_traces::{BiasKind, WorkloadKind};
 
 fn main() {
     let seeds: Vec<u64> = match std::env::args().nth(1) {
-        Some(n) => (0..n.parse::<u64>().expect("seed count")).map(|i| 640 + i).collect(),
+        Some(n) => (0..n.parse::<u64>().expect("seed count"))
+            .map(|i| 640 + i)
+            .collect(),
         None => vec![640, 641],
     };
     let kinds = [

@@ -1,21 +1,123 @@
 //! Dumps per-job completion records of one experiment as CSV for external
 //! plotting — every scheduler on the same workload, one file per scheduler
-//! on stdout separated by headers.
+//! on stdout separated by headers. With `--json PATH`, also writes a
+//! machine-readable benchmark baseline (avg JCT, speed-ups, events/sec)
+//! for tracking performance across PRs.
 //!
-//! Run: `cargo run --release -p venn-bench --bin export_results [seed]`
+//! Run: `cargo run --release -p venn-bench --bin export_results [seed] [--json PATH]`
 
-use venn_bench::{run, Experiment, SchedKind};
+use venn_bench::{run_matrix_sequential, Experiment, Matrix, MatrixRun, SchedKind};
 use venn_metrics::csv::Csv;
 use venn_traces::WorkloadKind;
 
+fn json_baseline(experiment: &Experiment, runs: &[MatrixRun], seed: u64) -> String {
+    let base_jct = runs
+        .iter()
+        .find(|r| r.cell.kind == SchedKind::Random)
+        .expect("TABLE1 includes Random")
+        .result
+        .avg_jct_ms();
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"paper_default/even\",\n");
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!(
+        "  \"jobs\": {},\n",
+        experiment.workload.jobs.len()
+    ));
+    out.push_str(&format!(
+        "  \"population\": {},\n",
+        experiment.sim.population
+    ));
+    out.push_str(&format!("  \"days\": {},\n", experiment.sim.days));
+    out.push_str("  \"schedulers\": [\n");
+    // Non-finite values (no finished jobs, sub-ms runs) must serialize as
+    // JSON `null`, never `NaN`/`inf`.
+    let json_num = |v: f64, decimals: usize| -> String {
+        if v.is_finite() {
+            format!("{v:.decimals$}")
+        } else {
+            "null".to_string()
+        }
+    };
+    for (i, r) in runs.iter().enumerate() {
+        let jct = r.result.avg_jct_ms();
+        let speedup = if jct > 0.0 { base_jct / jct } else { f64::NAN };
+        // Clamp to >= 1 ms so the rate stays finite.
+        let events_per_sec = r.result.events as f64 * 1_000.0 / r.wall_ms.max(1) as f64;
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"name\": \"{}\",\n",
+            r.result.scheduler_name
+        ));
+        out.push_str(&format!("      \"avg_jct_ms\": {},\n", json_num(jct, 1)));
+        out.push_str(&format!(
+            "      \"completion_rate\": {:.4},\n",
+            r.result.completion_rate()
+        ));
+        out.push_str(&format!(
+            "      \"speedup_vs_random\": {},\n",
+            json_num(speedup, 4)
+        ));
+        out.push_str(&format!(
+            "      \"aborted_rounds\": {},\n",
+            r.result.aborted_rounds
+        ));
+        out.push_str(&format!(
+            "      \"assignments\": {},\n",
+            r.result.assignments
+        ));
+        out.push_str(&format!("      \"events\": {},\n", r.result.events));
+        out.push_str(&format!("      \"wall_ms\": {},\n", r.wall_ms));
+        out.push_str(&format!(
+            "      \"events_per_sec\": {}\n",
+            json_num(events_per_sec, 0)
+        ));
+        out.push_str(if i + 1 < runs.len() {
+            "    },\n"
+        } else {
+            "    }\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn main() {
-    let seed: u64 = std::env::args()
-        .nth(1)
-        .map(|s| s.parse().expect("seed"))
-        .unwrap_or(42);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed: u64 = 42;
+    let mut json_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--json" {
+            match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => {
+                    eprintln!("error: --json needs a path");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            match arg.parse() {
+                Ok(s) => seed = s,
+                Err(e) => {
+                    eprintln!("error: bad seed {arg:?}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+
     let exp = Experiment::paper_default(WorkloadKind::Even, None, seed);
-    for kind in SchedKind::TABLE1 {
-        let result = run(&exp, kind);
+    let matrix = Matrix::new()
+        .fixed("paper_default/even", exp.clone())
+        .kinds(&SchedKind::TABLE1)
+        .seeds(&[seed]);
+    // Sequential on purpose: wall_ms feeds the events/sec baseline, and
+    // timing runs while sibling simulations contend for cores would make
+    // the recorded numbers machine-load-dependent.
+    let runs = run_matrix_sequential(&matrix);
+
+    for r in &runs {
         let mut csv = Csv::new(&[
             "job",
             "category",
@@ -28,7 +130,7 @@ fn main() {
             "response_ms",
             "rounds_aborted",
         ]);
-        for (i, (rec, plan)) in result.records.iter().zip(&exp.workload.jobs).enumerate() {
+        for (i, (rec, plan)) in r.result.records.iter().zip(&exp.workload.jobs).enumerate() {
             csv.row(&[
                 i.to_string(),
                 plan.category.label().to_string(),
@@ -42,8 +144,14 @@ fn main() {
                 rec.rounds_aborted.to_string(),
             ]);
         }
-        println!("# scheduler: {}", result.scheduler_name);
+        println!("# scheduler: {}", r.result.scheduler_name);
         print!("{csv}");
         println!();
+    }
+
+    if let Some(path) = json_path {
+        let json = json_baseline(&exp, &runs, seed);
+        std::fs::write(&path, json).expect("write json baseline");
+        eprintln!("wrote baseline to {path}");
     }
 }

@@ -64,7 +64,10 @@ fn main() {
     );
     for jobs in [100usize, 250, 500, 750, 1_000] {
         let mut venn = loaded_scheduler(jobs, 20, 1);
-        jobs_table.row(&format!("{jobs} jobs"), &[measure_trigger_us(&mut venn, 50)]);
+        jobs_table.row(
+            &format!("{jobs} jobs"),
+            &[measure_trigger_us(&mut venn, 50)],
+        );
     }
     println!("{jobs_table}");
 

@@ -13,7 +13,9 @@ use venn_traces::WorkloadKind;
 
 fn main() {
     let seeds: Vec<u64> = match std::env::args().nth(1) {
-        Some(n) => (0..n.parse::<u64>().expect("seed count")).map(|i| 950 + i).collect(),
+        Some(n) => (0..n.parse::<u64>().expect("seed count"))
+            .map(|i| 950 + i)
+            .collect(),
         None => vec![950, 951],
     };
     let mut table = Table::new(

@@ -28,10 +28,7 @@ fn uncontended_jct(exp: &Experiment) -> Vec<f64> {
         .iter()
         .map(|j| {
             let spec = j.spec(exp.sim.thresholds);
-            let frac = pop
-                .iter()
-                .filter(|d| spec.is_eligible(&d.capacity))
-                .count() as f64
+            let frac = pop.iter().filter(|d| spec.is_eligible(&d.capacity)).count() as f64
                 / pop.len() as f64;
             // Uncontended, a fresh request captures the idle eligible
             // online pool within one poll interval; only demand beyond
@@ -39,8 +36,7 @@ fn uncontended_jct(exp: &Experiment) -> Vec<f64> {
             let online_eligible = 0.19 * exp.sim.population as f64 * frac.max(1e-6);
             let trickle_per_ms = (daily_unique * frac.max(1e-6)) / venn_core::DAY_MS as f64;
             let excess = (j.demand as f64 - online_eligible).max(0.0);
-            let alloc_ms = exp.sim.repoll_ms as f64
-                * (1.0 + j.demand as f64 / online_eligible)
+            let alloc_ms = exp.sim.repoll_ms as f64 * (1.0 + j.demand as f64 / online_eligible)
                 + excess / trickle_per_ms;
             let resp_ms = 1.5 * j.task_ms as f64;
             j.rounds as f64 * (alloc_ms + resp_ms)
@@ -50,7 +46,9 @@ fn uncontended_jct(exp: &Experiment) -> Vec<f64> {
 
 fn main() {
     let seeds: Vec<u64> = match std::env::args().nth(1) {
-        Some(n) => (0..n.parse::<u64>().expect("seed count")).map(|i| 980 + i).collect(),
+        Some(n) => (0..n.parse::<u64>().expect("seed count"))
+            .map(|i| 980 + i)
+            .collect(),
         None => vec![980],
     };
     let mut table = Table::new(
@@ -100,7 +98,10 @@ fn main() {
             fair_sum += fair_met * 100.0;
         }
         let n = seeds.len() as f64;
-        table.row(&format!("eps = {epsilon}"), &[speedup_sum / n, fair_sum / n]);
+        table.row(
+            &format!("eps = {epsilon}"),
+            &[speedup_sum / n, fair_sum / n],
+        );
         eprintln!("eps {epsilon} done");
     }
     println!("{table}");

@@ -37,7 +37,10 @@ fn main() {
     );
 
     // --- Fig. 2b / 8a: capacity distribution and region populations.
-    let thresholds = CategoryThresholds { cpu: 0.55, mem: 0.55 };
+    let thresholds = CategoryThresholds {
+        cpu: 0.55,
+        mem: 0.55,
+    };
     let pop = CapacityModel::default().sample_population(20_000, &mut rng);
     let fractions = CapacityModel::region_fractions(&pop, thresholds);
     let mut table = Table::new(
@@ -55,7 +58,10 @@ fn main() {
         mem_hist.record(d.capacity.mem());
     }
     println!("normalized CPU score distribution:\n{}", cpu_hist.render());
-    println!("normalized memory score distribution:\n{}", mem_hist.render());
+    println!(
+        "normalized memory score distribution:\n{}",
+        mem_hist.render()
+    );
 
     // --- Fig. 8b: job demand trace marginals.
     let model = JobDemandModel::default();
@@ -66,7 +72,10 @@ fn main() {
         rounds_hist.record(r as f64);
         demand_hist.record(d as f64);
     }
-    println!("Fig 8b: # rounds per job (scaled-down marginal):\n{}", rounds_hist.render());
+    println!(
+        "Fig 8b: # rounds per job (scaled-down marginal):\n{}",
+        rounds_hist.render()
+    );
     println!(
         "Fig 8b: # participants per round (scaled-down marginal):\n{}",
         demand_hist.render()

@@ -67,8 +67,7 @@ fn main() {
         let mut rounds = result.rounds.clone();
         rounds.sort_by_key(|r| r.end_ms);
         for log in &rounds {
-            let participants: Vec<usize> =
-                log.participants.iter().map(|d| d % CLIENTS).collect();
+            let participants: Vec<usize> = log.participants.iter().map(|d| d % CLIENTS).collect();
             runs[log.job_idx].run_round(&participants);
             breakpoints.push((log.end_ms, log.job_idx, runs[log.job_idx].test_accuracy()));
         }

@@ -3,36 +3,45 @@
 //!
 //! Paper reference values: Venn 1.63×–1.88×, always ahead of FIFO and SRSF.
 //!
+//! The whole (scenario × seed × scheduler) grid runs in parallel through
+//! [`run_matrix`].
+//!
 //! Run: `cargo run --release -p venn-bench --bin table1_e2e [seeds]`
 
-use venn_bench::{mean_speedups_detailed, Experiment, SchedKind};
+use venn_bench::{run_matrix, speedup_summary, with_baseline, Experiment, Matrix, SchedKind};
 use venn_metrics::Table;
 use venn_traces::WorkloadKind;
 
 fn main() {
     let seeds: Vec<u64> = match std::env::args().nth(1) {
-        Some(n) => (0..n.parse::<u64>().expect("seed count")).map(|i| 100 + i).collect(),
+        Some(n) => (0..n.parse::<u64>().expect("seed count"))
+            .map(|i| 100 + i)
+            .collect(),
         None => vec![100, 101, 102],
     };
     let kinds = [SchedKind::Fifo, SchedKind::Srsf, SchedKind::Venn];
+    let mut matrix = Matrix::new().kinds(&with_baseline(&kinds)).seeds(&seeds);
+    for wk in WorkloadKind::ALL {
+        matrix = matrix.scenario(wk.label(), move |seed| {
+            Experiment::paper_default(wk, None, seed)
+        });
+    }
+    let runs = run_matrix(&matrix);
+
     let mut table = Table::new(
         "Table 1: avg JCT speed-up over Random matching",
         &["FIFO", "SRSF", "Venn"],
     );
-    for wk in WorkloadKind::ALL {
-        let (speedups, completion) = mean_speedups_detailed(
-            |seed| Experiment::paper_default(wk, None, seed),
-            &kinds,
-            &seeds,
-        );
-        table.row(wk.label(), &speedups);
+    for row in speedup_summary(&runs, &kinds) {
+        table.row(&row.scenario, &row.speedups);
         eprintln!(
             "{} done: speedups {:?} completion {:?}",
-            wk.label(),
-            speedups,
-            completion
+            row.scenario, row.speedups, row.completion
         );
     }
     println!("{table}");
-    println!("(averaged over {} seeds; paper: Venn 1.63x-1.88x)", seeds.len());
+    println!(
+        "(averaged over {} seeds; paper: Venn 1.63x-1.88x)",
+        seeds.len()
+    );
 }

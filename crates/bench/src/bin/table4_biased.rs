@@ -12,7 +12,9 @@ use venn_traces::{BiasKind, WorkloadKind};
 
 fn main() {
     let seeds: Vec<u64> = match std::env::args().nth(1) {
-        Some(n) => (0..n.parse::<u64>().expect("seed count")).map(|i| 800 + i).collect(),
+        Some(n) => (0..n.parse::<u64>().expect("seed count"))
+            .map(|i| 800 + i)
+            .collect(),
         None => vec![800, 801],
     };
     let kinds = [SchedKind::Fifo, SchedKind::Srsf, SchedKind::Venn];

@@ -70,20 +70,29 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--scheduler" => args.scheduler = value("--scheduler")?,
-            "--jobs" => args.jobs = value("--jobs")?.parse().map_err(|e| format!("--jobs: {e}"))?,
+            "--jobs" => {
+                args.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
             "--population" => {
                 args.population = value("--population")?
                     .parse()
                     .map_err(|e| format!("--population: {e}"))?
             }
-            "--days" => args.days = value("--days")?.parse().map_err(|e| format!("--days: {e}"))?,
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--days" => {
+                args.days = value("--days")?
+                    .parse()
+                    .map_err(|e| format!("--days: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--workload" => {
                 args.workload = match value("--workload")?.as_str() {
                     "even" => WorkloadKind::Even,
@@ -109,7 +118,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--epsilon: {e}"))?
             }
             "--tiers" => {
-                args.tiers = value("--tiers")?.parse().map_err(|e| format!("--tiers: {e}"))?
+                args.tiers = value("--tiers")?
+                    .parse()
+                    .map_err(|e| format!("--tiers: {e}"))?
             }
             "--async" => args.async_mode = true,
             "--overcommit" => {
@@ -197,12 +208,22 @@ fn run(args: &Args) -> Result<(), String> {
 
     println!("scheduler        {}", result.scheduler_name);
     println!("jobs             {}", workload.jobs.len());
-    println!("finished         {} ({:.0}%)", b.finished(), result.completion_rate() * 100.0);
+    println!(
+        "finished         {} ({:.0}%)",
+        b.finished(),
+        result.completion_rate() * 100.0
+    );
     println!("avg JCT          {:.1} min", b.avg_jct_ms() / 60_000.0);
-    println!("avg sched delay  {:.1} min", b.avg_sched_delay_ms() / 60_000.0);
+    println!(
+        "avg sched delay  {:.1} min",
+        b.avg_sched_delay_ms() / 60_000.0
+    );
     println!("avg response     {:.1} min", b.avg_response_ms() / 60_000.0);
     println!("aborted rounds   {}", result.aborted_rounds);
-    println!("assignments      {} ({} failed)", result.assignments, result.failures);
+    println!(
+        "assignments      {} ({} failed)",
+        result.assignments, result.failures
+    );
     Ok(())
 }
 

@@ -7,7 +7,17 @@
 //! * [`Experiment`] — a (simulation config, workload) pair with
 //!   constructors matching §5.1's scenarios;
 //! * [`run`] / [`speedup_table`] — execute runs and normalize average JCT
-//!   against the Random baseline, the paper's headline metric.
+//!   against the Random baseline, the paper's headline metric;
+//! * [`Matrix`] / [`run_matrix`] — the shared sweep executor: declare a
+//!   (scenario × seed × scheduler) grid once and fan the independent
+//!   deterministic runs out across cores.
+
+pub mod matrix;
+
+pub use matrix::{
+    run_matrix, run_matrix_sequential, speedup_summary, with_baseline, Matrix, MatrixCell,
+    MatrixRun, ScenarioSpeedups,
+};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,10 +73,7 @@ impl SchedKind {
                 seed,
                 ..VennConfig::scheduling_only()
             })),
-            SchedKind::VennWith(cfg) => Box::new(VennScheduler::new(VennConfig {
-                seed,
-                ..*cfg
-            })),
+            SchedKind::VennWith(cfg) => Box::new(VennScheduler::new(VennConfig { seed, ..*cfg })),
         }
     }
 
@@ -162,22 +169,33 @@ pub fn run(experiment: &Experiment, kind: SchedKind) -> SimResult {
 
 /// Average-JCT speed-up of each scheduler over [`SchedKind::Random`] on the
 /// same experiment (the paper's headline normalization). Returns
-/// `(labels, speedups, results)` in the order of `kinds`.
+/// `(labels, speedups, results)` in the order of `kinds`. The schedulers
+/// run in parallel through [`run_matrix`].
 pub fn speedup_table(
     experiment: &Experiment,
     kinds: &[SchedKind],
 ) -> (Vec<&'static str>, Vec<f64>, Vec<SimResult>) {
-    let baseline = run(experiment, SchedKind::Random);
-    let base_jct = baseline.avg_jct_ms();
+    let matrix = Matrix::new()
+        .fixed("experiment", experiment.clone())
+        .kinds(&with_baseline(kinds))
+        .seeds(&[experiment.sim.seed]);
+    let runs = run_matrix(&matrix);
+    let base_jct = runs
+        .iter()
+        .find(|r| r.cell.kind == SchedKind::Random)
+        .expect("with_baseline guarantees a Random run")
+        .result
+        .avg_jct_ms();
     let mut labels = Vec::new();
     let mut speedups = Vec::new();
     let mut results = Vec::new();
     for kind in kinds {
-        let r = if *kind == SchedKind::Random {
-            baseline.clone()
-        } else {
-            run(experiment, *kind)
-        };
+        let r = runs
+            .iter()
+            .find(|r| r.cell.kind == *kind)
+            .expect("every requested kind was in the matrix")
+            .result
+            .clone();
         labels.push(kind.label());
         speedups.push(if r.avg_jct_ms() > 0.0 {
             base_jct / r.avg_jct_ms()
@@ -192,7 +210,7 @@ pub fn speedup_table(
 /// Average of per-seed speed-ups over `seeds` repetitions of an experiment
 /// builder — smooths single-run noise in the headline tables.
 pub fn mean_speedups(
-    make: impl Fn(u64) -> Experiment,
+    make: impl Fn(u64) -> Experiment + Sync,
     kinds: &[SchedKind],
     seeds: &[u64],
 ) -> Vec<f64> {
@@ -202,30 +220,24 @@ pub fn mean_speedups(
 /// Like [`mean_speedups`] but also returns the mean job completion rate per
 /// scheduler — a sanity channel: speed-ups are only comparable when all
 /// schedulers finish (nearly) all jobs.
+///
+/// All `seeds × kinds` runs (plus the Random baselines) execute in
+/// parallel through [`run_matrix`]; per-run results are identical to the
+/// old sequential loop.
 pub fn mean_speedups_detailed(
-    make: impl Fn(u64) -> Experiment,
+    make: impl Fn(u64) -> Experiment + Sync,
     kinds: &[SchedKind],
     seeds: &[u64],
 ) -> (Vec<f64>, Vec<f64>) {
-    let mut acc = vec![0.0; kinds.len()];
-    let mut completion = vec![0.0; kinds.len()];
-    for &seed in seeds {
-        let exp = make(seed);
-        let (_, speedups, results) = speedup_table(&exp, kinds);
-        for ((a, s), (c, r)) in acc
-            .iter_mut()
-            .zip(&speedups)
-            .zip(completion.iter_mut().zip(&results))
-        {
-            *a += s;
-            *c += r.completion_rate();
-        }
-    }
-    for (a, c) in acc.iter_mut().zip(&mut completion) {
-        *a /= seeds.len() as f64;
-        *c /= seeds.len() as f64;
-    }
-    (acc, completion)
+    let matrix = Matrix::new()
+        .scenario("sweep", make)
+        .kinds(&with_baseline(kinds))
+        .seeds(seeds);
+    let runs = run_matrix(&matrix);
+    let row = speedup_summary(&runs, kinds)
+        .pop()
+        .expect("single-scenario matrix yields one row");
+    (row.speedups, row.completion)
 }
 
 /// Speed-up of `other` over `baseline` restricted to the jobs in `subset`

@@ -91,7 +91,12 @@ impl FairnessKnob {
     /// Adjusted group queue length `q'_j = q_j · (Σ T_i / Σ t_i)^ε`.
     ///
     /// Degenerate inputs (zero totals) fall back to the unadjusted length.
-    pub fn adjusted_queue_len(&self, queue_len: f64, sum_targets_ms: f64, sum_usage_ms: f64) -> f64 {
+    pub fn adjusted_queue_len(
+        &self,
+        queue_len: f64,
+        sum_targets_ms: f64,
+        sum_usage_ms: f64,
+    ) -> f64 {
         if !self.is_enabled() || sum_targets_ms <= 0.0 || sum_usage_ms <= 0.0 {
             return queue_len;
         }

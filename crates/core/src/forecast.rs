@@ -101,10 +101,8 @@ impl DiurnalProfile {
         let mut count = 0u64;
         for cpu_b in 0..BUCKETS {
             for mem_b in 0..BUCKETS {
-                let cap = Capacity::new(
-                    cpu_b as f64 / BUCKETS as f64,
-                    mem_b as f64 / BUCKETS as f64,
-                );
+                let cap =
+                    Capacity::new(cpu_b as f64 / BUCKETS as f64, mem_b as f64 / BUCKETS as f64);
                 if spec.is_eligible(&cap) {
                     count += self.counts[hour][cpu_b * BUCKETS + mem_b] as u64;
                 }
@@ -180,7 +178,7 @@ mod tests {
         let mut p = DiurnalProfile::new();
         p.record(23 * HOUR_MS, &cap(0.5, 0.5)); // hour 23
         p.record(0, &cap(0.5, 0.5)); // hour 0
-        // Forecast from hour 23, two hours ahead: covers hours 23 and 0.
+                                     // Forecast from hour 23, two hours ahead: covers hours 23 and 0.
         let f = p.forecast(23 * HOUR_MS + 5, 2, &ResourceSpec::any());
         assert_eq!(f, 2.0);
     }

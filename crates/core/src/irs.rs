@@ -126,8 +126,7 @@ pub fn allocate_with(
         .iter()
         .map(|(&g, owned)| (g, supply_of(owned)))
         .collect();
-    let mut queue: HashMap<usize, f64> =
-        groups.iter().map(|g| (g.index, g.queue_len)).collect();
+    let mut queue: HashMap<usize, f64> = groups.iter().map(|g| (g.index, g.queue_len)).collect();
 
     // --- Greedy reallocation (lines 10-23): from the most abundant group,
     // steal intersected regions from scarcer groups while the queue-pressure
@@ -158,8 +157,16 @@ pub fn allocate_with(
             }
             let sj = alloc_supply[&j];
             let sk = alloc_supply[&k];
-            let ratio_j = if sj > 0.0 { queue[&j] / sj } else { f64::INFINITY };
-            let ratio_k = if sk > 0.0 { queue[&k] / sk } else { f64::INFINITY };
+            let ratio_j = if sj > 0.0 {
+                queue[&j] / sj
+            } else {
+                f64::INFINITY
+            };
+            let ratio_k = if sk > 0.0 {
+                queue[&k] / sk
+            } else {
+                f64::INFINITY
+            };
             if ratio_j > ratio_k && ratio_k.is_finite() {
                 // Move the regions of S'_k that G_j is eligible for.
                 let victim = owned_regions.get_mut(&k).expect("victim exists");
@@ -168,7 +175,10 @@ pub fn allocate_with(
                     .partition(|&&ri| regions[ri].mask & bit_j != 0);
                 *victim = kept;
                 let moved_rate: f64 = moved.iter().map(|&ri| regions[ri].rate).sum();
-                owned_regions.get_mut(&j).expect("thief exists").extend(moved);
+                owned_regions
+                    .get_mut(&j)
+                    .expect("thief exists")
+                    .extend(moved);
                 *alloc_supply.get_mut(&j).expect("thief supply") += moved_rate;
                 *alloc_supply.get_mut(&k).expect("victim supply") -= moved_rate;
                 // The deprioritized group's jobs now queue behind G_j's.

@@ -207,7 +207,12 @@ pub type TierRange = (f64, f64);
 /// # Panics
 ///
 /// Panics if `v == 0` or `u >= v`.
-pub fn decide_tier(profile: &TierProfiler, v: usize, u: usize, min_samples: usize) -> Option<TierRange> {
+pub fn decide_tier(
+    profile: &TierProfiler,
+    v: usize,
+    u: usize,
+    min_samples: usize,
+) -> Option<TierRange> {
     assert!(v > 0, "tier count must be positive");
     assert!(u < v, "tier index out of range");
     if v == 1 || !profile.is_ready(min_samples) {
@@ -273,7 +278,7 @@ mod tests {
     fn trigger_declines_when_scheduling_dominates() {
         let mut p = fast_high_tier_profile();
         p.record_sched_delay(10_000_000); // scheduling hugely dominant → c ~ 0
-        // Many delays so the mean is dominated by the big one.
+                                          // Many delays so the mean is dominated by the big one.
         let range = decide_tier(&p, 4, 3, 10);
         assert!(range.is_none(), "V=4 cannot pay off when c≈0");
     }

@@ -161,7 +161,11 @@ impl Hash for ResourceSpec {
 
 impl fmt::Display for ResourceSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "spec(cpu>={:.2}, mem>={:.2})", self.min_cpu, self.min_mem)
+        write!(
+            f,
+            "spec(cpu>={:.2}, mem>={:.2})",
+            self.min_cpu, self.min_mem
+        )
     }
 }
 
@@ -219,7 +223,10 @@ impl SpecCategory {
     /// The category a device falls into under `thresholds` — the *finest*
     /// region it belongs to.
     pub fn of_device(device: &Capacity, thresholds: CategoryThresholds) -> SpecCategory {
-        match (device.cpu() >= thresholds.cpu, device.mem() >= thresholds.mem) {
+        match (
+            device.cpu() >= thresholds.cpu,
+            device.mem() >= thresholds.mem,
+        ) {
             (true, true) => SpecCategory::HighPerf,
             (true, false) => SpecCategory::ComputeRich,
             (false, true) => SpecCategory::MemoryRich,
@@ -293,7 +300,9 @@ mod tests {
         let mut groups: HashMap<ResourceSpec, u32> = HashMap::new();
         *groups.entry(ResourceSpec::new(0.5, 0.0)).or_default() += 1;
         *groups.entry(ResourceSpec::new(0.5, 0.0)).or_default() += 1;
-        *groups.entry(ResourceSpec::new(0.5, -0.0_f64.abs())).or_default() += 1;
+        *groups
+            .entry(ResourceSpec::new(0.5, -0.0_f64.abs()))
+            .or_default() += 1;
         assert_eq!(groups.len(), 1);
         assert_eq!(groups[&ResourceSpec::new(0.5, 0.0)], 3);
     }

@@ -47,13 +47,7 @@ pub trait Scheduler {
 
     /// Observes a successful response from a device serving `job`.
     /// Default: ignored.
-    fn on_response(
-        &mut self,
-        _job: JobId,
-        _device: &DeviceInfo,
-        _response_ms: u64,
-        _now: SimTime,
-    ) {
+    fn on_response(&mut self, _job: JobId, _device: &DeviceInfo, _response_ms: u64, _now: SimTime) {
     }
 
     /// Observes that `job`'s current request became fully allocated after

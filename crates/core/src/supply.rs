@@ -176,7 +176,7 @@ impl SupplyEstimator {
                 rate: count as f64 / span,
             })
             .collect();
-        out.sort_by(|a, b| a.mask.cmp(&b.mask));
+        out.sort_by_key(|a| a.mask);
         out
     }
 
@@ -249,10 +249,10 @@ mod tests {
         s.record(0, &Capacity::new(0.1, 0.9)); // memory
         s.record(0, &Capacity::new(0.9, 0.9)); // high-perf
         let specs = [
-            ResourceSpec::any(),          // bit 0
-            ResourceSpec::new(0.5, 0.0),  // bit 1
-            ResourceSpec::new(0.0, 0.5),  // bit 2
-            ResourceSpec::new(0.5, 0.5),  // bit 3
+            ResourceSpec::any(),         // bit 0
+            ResourceSpec::new(0.5, 0.0), // bit 1
+            ResourceSpec::new(0.0, 0.5), // bit 2
+            ResourceSpec::new(0.5, 0.5), // bit 3
         ];
         let regions = s.region_supplies(100, &specs);
         let masks: Vec<u128> = regions.iter().map(|r| r.mask).collect();

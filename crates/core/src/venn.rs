@@ -196,10 +196,7 @@ impl VennScheduler {
         let specs: Vec<ResourceSpec> = self.groups.iter().map(|g| g.spec).collect();
 
         // Per-group eligible supply |S_j|.
-        let rates: Vec<f64> = specs
-            .iter()
-            .map(|s| self.supply.rate(now, s))
-            .collect();
+        let rates: Vec<f64> = specs.iter().map(|s| self.supply.rate(now, s)).collect();
 
         // Fairness inputs and intra-group ordering.
         let m_total = self.jobs.values().filter(|j| j.active).count().max(1);
@@ -267,11 +264,7 @@ impl VennScheduler {
         }
     }
 
-    fn try_assign_job(
-        jobs: &mut HashMap<JobId, JobEntry>,
-        id: JobId,
-        device: &DeviceInfo,
-    ) -> bool {
+    fn try_assign_job(jobs: &mut HashMap<JobId, JobEntry>, id: JobId, device: &DeviceInfo) -> bool {
         let Some(entry) = jobs.get_mut(&id) else {
             return false;
         };
@@ -299,8 +292,7 @@ impl Scheduler for VennScheduler {
         let group = self.group_index(request.spec);
         let rate = self.supply.rate(now, &request.spec).max(MIN_RATE);
         let rounds_est = (request.total_remaining as f64 / request.demand as f64).max(1.0);
-        let uncontended =
-            rounds_est * (request.demand as f64 / rate + DEFAULT_RESPONSE_EST_MS);
+        let uncontended = rounds_est * (request.demand as f64 / rate + DEFAULT_RESPONSE_EST_MS);
 
         let tiers = self.config.tiers;
         let use_matching = self.config.use_matching;
@@ -427,10 +419,7 @@ impl Scheduler for VennScheduler {
     }
 
     fn pending_demand(&self, job: JobId) -> Option<u32> {
-        self.jobs
-            .get(&job)
-            .filter(|e| e.active)
-            .map(|e| e.pending)
+        self.jobs.get(&job).filter(|e| e.active).map(|e| e.pending)
     }
 }
 
@@ -454,7 +443,10 @@ mod tests {
     #[test]
     fn assigns_eligible_job_only() {
         let mut s = VennScheduler::new(VennConfig::default());
-        s.submit(Request::new(JobId::new(1), ResourceSpec::new(0.5, 0.5), 2, 2), 0);
+        s.submit(
+            Request::new(JobId::new(1), ResourceSpec::new(0.5, 0.5), 2, 2),
+            0,
+        );
         let weak = dev(1, 0.1, 0.1);
         assert_eq!(s.assign(&weak, 1), None);
         let strong = dev(2, 0.9, 0.9);
@@ -467,7 +459,10 @@ mod tests {
         let mut s = VennScheduler::new(VennConfig::default());
         feed_supply(&mut s, 0);
         s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 5, 5), 1);
-        s.submit(Request::new(JobId::new(2), ResourceSpec::new(0.5, 0.5), 5, 5), 1);
+        s.submit(
+            Request::new(JobId::new(2), ResourceSpec::new(0.5, 0.5), 5, 5),
+            1,
+        );
         // High-end device is claimed by the high-perf job...
         assert_eq!(s.assign(&dev(1, 0.9, 0.9), 2), Some(JobId::new(2)));
         // ...while a low-end device can only serve the general job.
@@ -492,7 +487,10 @@ mod tests {
         feed_supply(&mut s, 0);
         // Only a general job is active; high-end devices must still be used.
         s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 2, 2), 0);
-        s.submit(Request::new(JobId::new(2), ResourceSpec::new(0.5, 0.5), 1, 1), 0);
+        s.submit(
+            Request::new(JobId::new(2), ResourceSpec::new(0.5, 0.5), 1, 1),
+            0,
+        );
         s.withdraw(JobId::new(2), 1); // high-perf group now empty
         assert_eq!(s.assign(&dev(1, 0.9, 0.9), 2), Some(JobId::new(1)));
     }
@@ -558,7 +556,10 @@ mod tests {
         // large job received nothing.
         s.on_alloc_complete(JobId::new(2), 1_000, 50_000);
         s.withdraw(JobId::new(2), 50_000);
-        s.submit(Request::new(JobId::new(2), ResourceSpec::any(), 2, 2), 50_000);
+        s.submit(
+            Request::new(JobId::new(2), ResourceSpec::any(), 2, 2),
+            50_000,
+        );
         // Under SRJF job 2 would win; with ε=2 and its fair share consumed
         // it must yield to the untouched large job.
         assert_eq!(s.assign(&dev(1, 0.5, 0.5), 50_001), Some(JobId::new(1)));
@@ -582,7 +583,10 @@ mod tests {
         let mut s = VennScheduler::new(VennConfig::default());
         s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 1, 1), 0);
         s.submit(Request::new(JobId::new(2), ResourceSpec::any(), 1, 1), 0);
-        s.submit(Request::new(JobId::new(3), ResourceSpec::new(0.5, 0.0), 1, 1), 0);
+        s.submit(
+            Request::new(JobId::new(3), ResourceSpec::new(0.5, 0.0), 1, 1),
+            0,
+        );
         assert_eq!(s.group_count(), 2);
         assert_eq!(s.active_jobs(), 3);
     }

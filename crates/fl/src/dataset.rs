@@ -74,7 +74,9 @@ impl FederatedDataset {
         // Unit-norm class means scattered on the sphere.
         let class_means: Vec<Vec<f64>> = (0..config.classes)
             .map(|_| {
-                let v: Vec<f64> = (0..config.features).map(|_| std_normal.sample(rng)).collect();
+                let v: Vec<f64> = (0..config.features)
+                    .map(|_| std_normal.sample(rng))
+                    .collect();
                 let norm = v.iter().map(|a| a * a).sum::<f64>().sqrt().max(1e-9);
                 v.into_iter().map(|a| a / norm * 2.0).collect()
             })
@@ -235,13 +237,7 @@ mod tests {
         // With alpha = 0.3, most clients concentrate on few classes: the
         // max label share should often exceed 0.5.
         let concentrated = (0..d.clients())
-            .filter(|&c| {
-                d.label_histogram(c)
-                    .iter()
-                    .cloned()
-                    .fold(0.0, f64::max)
-                    > 0.5
-            })
+            .filter(|&c| d.label_histogram(c).iter().cloned().fold(0.0, f64::max) > 0.5)
             .count();
         assert!(
             concentrated > d.clients() / 3,

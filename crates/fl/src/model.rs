@@ -88,8 +88,8 @@ impl SoftmaxModel {
         for ex in examples {
             let probs = self.predict_proba(&ex.x);
             total_loss += -(probs[ex.y].max(1e-12)).ln();
-            for c in 0..self.classes {
-                let err = probs[c] - if c == ex.y { 1.0 } else { 0.0 };
+            for (c, &prob) in probs.iter().enumerate().take(self.classes) {
+                let err = prob - if c == ex.y { 1.0 } else { 0.0 };
                 let base = c * self.features;
                 for (f, xf) in ex.x.iter().enumerate() {
                     let w = &mut self.params[base + f];

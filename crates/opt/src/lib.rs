@@ -123,10 +123,7 @@ pub fn evaluate(inst: &Instance, assignment: &[Option<usize>]) -> Option<u64> {
     let mut completion = vec![0u64; inst.demands.len()];
     for (arrival, choice) in inst.arrivals.iter().zip(assignment) {
         if let Some(j) = *choice {
-            if j >= inst.demands.len()
-                || arrival.eligible & (1 << j) == 0
-                || remaining[j] == 0
-            {
+            if j >= inst.demands.len() || arrival.eligible & (1 << j) == 0 || remaining[j] == 0 {
                 return None;
             }
             remaining[j] -= 1;
@@ -317,7 +314,13 @@ mod tests {
 
     #[test]
     fn evaluate_rejects_ineligible_assignment() {
-        let inst = Instance::new(vec![1], vec![Arrival { time: 1, eligible: 0 }]);
+        let inst = Instance::new(
+            vec![1],
+            vec![Arrival {
+                time: 1,
+                eligible: 0,
+            }],
+        );
         assert_eq!(evaluate(&inst, &[Some(0)]), None);
     }
 
@@ -328,7 +331,10 @@ mod tests {
             uniform_arrivals(6, |t| if t <= 3 { 0b11 } else { 0b01 }),
         );
         let sol = solve(&inst).unwrap();
-        assert_eq!(evaluate(&inst, &sol.assignment), Some(sol.total_completion()));
+        assert_eq!(
+            evaluate(&inst, &sol.assignment),
+            Some(sol.total_completion())
+        );
     }
 
     #[test]
@@ -359,8 +365,14 @@ mod tests {
         Instance::new(
             vec![1],
             vec![
-                Arrival { time: 5, eligible: 1 },
-                Arrival { time: 1, eligible: 1 },
+                Arrival {
+                    time: 5,
+                    eligible: 1,
+                },
+                Arrival {
+                    time: 1,
+                    eligible: 1,
+                },
             ],
         );
     }

@@ -77,7 +77,10 @@ impl Default for SimConfig {
             // High-Perf region — scarce enough that wasting them on
             // General jobs (what Random/SRSF do) visibly hurts, while
             // keeping the largest rounds feasible.
-            thresholds: CategoryThresholds { cpu: 0.55, mem: 0.55 },
+            thresholds: CategoryThresholds {
+                cpu: 0.55,
+                mem: 0.55,
+            },
             availability: AvailabilityModel::default(),
             capacity: CapacityModel::default(),
             one_task_per_day: true,
@@ -123,7 +126,10 @@ impl SimConfig {
             "quorum must be in (0, 1]"
         );
         assert!(self.repoll_ms > 0, "repoll interval must be positive");
-        assert!(self.response_noise_cv >= 0.0, "noise cv must be non-negative");
+        assert!(
+            self.response_noise_cv >= 0.0,
+            "noise cv must be non-negative"
+        );
         assert!(
             (0.0..1.0).contains(&self.overcommit),
             "overcommit must be in [0, 1)"

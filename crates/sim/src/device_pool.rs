@@ -1,0 +1,168 @@
+//! The device population: availability sessions, busy flags, and the
+//! one-task-per-day realism cap.
+
+use venn_core::{DeviceId, DeviceInfo, SimTime, DAY_MS};
+use venn_traces::DeviceProfile;
+
+/// Per-device simulation state.
+#[derive(Debug)]
+pub struct DeviceState {
+    /// Static capacity/speed profile sampled at world construction.
+    pub profile: DeviceProfile,
+    /// End of the current availability session (0 = offline).
+    pub session_end: SimTime,
+    /// Held by a job or computing.
+    pub busy: bool,
+    /// Day index of the device's last computation (one-task-per-day cap).
+    pub last_task_day: Option<u64>,
+}
+
+/// All devices of one simulated world, indexed by population index.
+///
+/// The pool owns session bookkeeping and the busy/daily-cap flags; the
+/// [`World`](crate::world::World) event handlers mutate it exclusively
+/// through these named operations, which keeps every lifecycle rule
+/// (sessions only extend, a busy device never checks in, one task per
+/// day) in one place.
+#[derive(Debug)]
+pub struct DevicePool {
+    devices: Vec<DeviceState>,
+}
+
+impl DevicePool {
+    /// Builds the pool from sampled capacity profiles; all devices start
+    /// offline and idle.
+    pub fn new(profiles: Vec<DeviceProfile>) -> Self {
+        DevicePool {
+            devices: profiles
+                .into_iter()
+                .map(|profile| DeviceState {
+                    profile,
+                    session_end: 0,
+                    busy: false,
+                    last_task_day: None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of devices in the population.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Read access to one device.
+    pub fn get(&self, device: usize) -> &DeviceState {
+        &self.devices[device]
+    }
+
+    /// The scheduler-facing identity/capacity view of a device.
+    pub fn info(&self, device: usize) -> DeviceInfo {
+        DeviceInfo::new(
+            DeviceId::new(device as u64),
+            self.devices[device].profile.capacity,
+        )
+    }
+
+    /// An availability session begins (or overlaps): the session end only
+    /// ever extends, never shrinks.
+    pub fn begin_session(&mut self, device: usize, session_end: SimTime) {
+        let d = &mut self.devices[device];
+        d.session_end = d.session_end.max(session_end);
+    }
+
+    /// End of the device's current session.
+    pub fn session_end(&self, device: usize) -> SimTime {
+        self.devices[device].session_end
+    }
+
+    /// Whether the device may poll the resource manager at `now`: online,
+    /// idle, and (if the cap is enforced) not already used today.
+    pub fn can_check_in(&self, device: usize, now: SimTime, one_task_per_day: bool) -> bool {
+        let d = &self.devices[device];
+        if d.busy || now >= d.session_end {
+            return false;
+        }
+        !(one_task_per_day && d.last_task_day == Some(now / DAY_MS))
+    }
+
+    /// Marks the device held/computing.
+    pub fn mark_busy(&mut self, device: usize) {
+        self.devices[device].busy = true;
+    }
+
+    /// Returns the device to the idle pool (response, failure, or hold
+    /// release).
+    pub fn release(&mut self, device: usize) {
+        self.devices[device].busy = false;
+    }
+
+    /// Records that the device computed a task today (daily-cap
+    /// bookkeeping).
+    pub fn note_task(&mut self, device: usize, now: SimTime) {
+        self.devices[device].last_task_day = Some(now / DAY_MS);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venn_core::Capacity;
+
+    fn pool(n: usize) -> DevicePool {
+        DevicePool::new(
+            (0..n)
+                .map(|_| DeviceProfile {
+                    capacity: Capacity::new(0.5, 0.5),
+                    speed: 1.0,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn sessions_only_extend() {
+        let mut p = pool(2);
+        p.begin_session(0, 1_000);
+        p.begin_session(0, 500);
+        assert_eq!(p.session_end(0), 1_000);
+        p.begin_session(0, 2_000);
+        assert_eq!(p.session_end(0), 2_000);
+    }
+
+    #[test]
+    fn check_in_requires_online_and_idle() {
+        let mut p = pool(1);
+        assert!(!p.can_check_in(0, 0, true), "offline device cannot poll");
+        p.begin_session(0, 10_000);
+        assert!(p.can_check_in(0, 5_000, true));
+        assert!(!p.can_check_in(0, 10_000, true), "session over");
+        p.mark_busy(0);
+        assert!(!p.can_check_in(0, 5_000, true), "busy device cannot poll");
+        p.release(0);
+        assert!(p.can_check_in(0, 5_000, true));
+    }
+
+    #[test]
+    fn daily_cap_blocks_second_task() {
+        let mut p = pool(1);
+        p.begin_session(0, 2 * DAY_MS);
+        p.note_task(0, 1_000);
+        assert!(!p.can_check_in(0, 2_000, true), "cap applies same day");
+        assert!(p.can_check_in(0, 2_000, false), "cap can be disabled");
+        assert!(p.can_check_in(0, DAY_MS + 1, true), "next day resets cap");
+    }
+
+    #[test]
+    fn info_exposes_identity_and_capacity() {
+        let p = pool(3);
+        let info = p.info(2);
+        assert_eq!(info.id().as_u64(), 2);
+        assert_eq!(*info.capacity(), p.get(2).profile.capacity);
+    }
+}

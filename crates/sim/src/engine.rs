@@ -1,4 +1,4 @@
-//! The simulation engine: wires traces, jobs, and a scheduler together.
+//! The simulation driver: wires traces, jobs, and a scheduler together.
 //!
 //! ## Round lifecycle (paper Fig. 1)
 //!
@@ -14,60 +14,21 @@
 //!    participants report back before the deadline; otherwise it aborts,
 //!    backs off briefly, and retries (devices consumed are not refunded —
 //!    aborted work is wasted, as in production).
+//!
+//! The lifecycle itself is implemented by the [`World`] state machine
+//! (`world.rs`), which owns the [`DevicePool`](crate::DevicePool),
+//! [`JobTable`](crate::JobTable), and event queue and handles each
+//! [`EventKind`](crate::event::EventKind) in a dedicated method.
+//! [`Simulation`] is the thin front door: construct, validate, run —
+//! optionally with [`SimObserver`]s attached.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use venn_core::{Capacity, DeviceId, DeviceInfo, JobId, Request, Scheduler, SimTime, DAY_MS};
-use venn_metrics::JctRecord;
-use venn_traces::dist::LogNormal;
-use venn_traces::{DeviceProfile, Workload};
+use venn_core::Scheduler;
+use venn_traces::Workload;
 
 use crate::config::SimConfig;
-use crate::event::{EventKind, EventQueue};
-use crate::result::{RoundLog, SimResult};
-
-#[derive(Debug)]
-struct DeviceState {
-    profile: DeviceProfile,
-    /// End of the current availability session (0 = offline).
-    session_end: SimTime,
-    /// Held by a job or computing.
-    busy: bool,
-    /// Day index of the device's last computation (one-task-per-day cap).
-    last_task_day: Option<u64>,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum JobPhase {
-    /// Not yet arrived or between rounds.
-    Idle,
-    /// A round request is outstanding; devices are being held.
-    Allocating,
-    /// All participants are computing; the deadline is ticking.
-    Running,
-    /// All rounds done.
-    Finished,
-}
-
-#[derive(Debug)]
-struct JobRuntime {
-    spec: venn_core::ResourceSpec,
-    rounds_done: u32,
-    phase: JobPhase,
-    /// Request incarnation; bumped on round completion/abort so stale
-    /// events are ignored.
-    epoch: u32,
-    request_start: SimTime,
-    round_start: SimTime,
-    assigned: u32,
-    responses: u32,
-    /// Devices currently held (population indices).
-    held: Vec<usize>,
-    /// Devices that responded this round.
-    participants: Vec<usize>,
-    record: JctRecord,
-}
+use crate::observer::SimObserver;
+use crate::result::SimResult;
+use crate::world::World;
 
 /// One simulation run. Construct with a config, then [`Simulation::run`].
 #[derive(Debug)]
@@ -96,413 +57,25 @@ impl Simulation {
     /// The run is deterministic given (`config.seed`, workload, scheduler
     /// state): the same inputs produce identical outputs.
     pub fn run(&self, workload: &Workload, scheduler: &mut dyn Scheduler) -> SimResult {
-        let cfg = &self.config;
-        let horizon = cfg.horizon_ms();
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-        let profiles = cfg.capacity.sample_population(cfg.population, &mut rng);
-        let sessions = cfg.availability.generate(cfg.population, cfg.days, &mut rng);
-        let mut devices: Vec<DeviceState> = profiles
-            .into_iter()
-            .map(|profile| DeviceState {
-                profile,
-                session_end: 0,
-                busy: false,
-                last_task_day: None,
-            })
-            .collect();
-        let noise = LogNormal::from_mean_cv(1.0, cfg.response_noise_cv.max(1e-6));
-
-        let mut jobs: Vec<JobRuntime> = workload
-            .jobs
-            .iter()
-            .map(|plan| JobRuntime {
-                spec: plan.spec(cfg.thresholds),
-                rounds_done: 0,
-                phase: JobPhase::Idle,
-                epoch: 0,
-                request_start: 0,
-                round_start: 0,
-                assigned: 0,
-                responses: 0,
-                held: Vec::new(),
-                participants: Vec::new(),
-                record: JctRecord::new(plan.arrival_ms),
-            })
-            .collect();
-
-        let mut queue = EventQueue::new();
-        for s in &sessions {
-            if s.start < horizon {
-                queue.push(
-                    s.start,
-                    EventKind::SessionStart {
-                        device: s.device,
-                        session_end: s.end.min(horizon),
-                    },
-                );
-            }
-        }
-        for (idx, plan) in workload.jobs.iter().enumerate() {
-            if plan.arrival_ms < horizon {
-                queue.push(plan.arrival_ms, EventKind::JobArrival { job_idx: idx });
-            }
-        }
-
-        let mut result = SimResult {
-            scheduler_name: scheduler.name().to_string(),
-            ..SimResult::default()
-        };
-
-        while let Some(event) = queue.pop() {
-            let now = event.time;
-            if now > horizon {
-                break;
-            }
-            match event.kind {
-                EventKind::JobArrival { job_idx } | EventKind::RoundStart { job_idx } => {
-                    self.submit_round(job_idx, now, workload, &mut jobs, scheduler, &mut queue);
-                }
-                EventKind::SessionStart {
-                    device,
-                    session_end,
-                } => {
-                    let d = &mut devices[device];
-                    d.session_end = d.session_end.max(session_end);
-                    self.check_in(
-                        device, now, workload, &mut devices, &mut jobs, scheduler, &mut queue,
-                        &noise, &mut rng, &mut result,
-                    );
-                }
-                EventKind::CheckIn { device } => {
-                    self.check_in(
-                        device, now, workload, &mut devices, &mut jobs, scheduler, &mut queue,
-                        &noise, &mut rng, &mut result,
-                    );
-                }
-                EventKind::HoldExpire { job, epoch, device } => {
-                    let j = &mut jobs[job.as_u64() as usize];
-                    if j.phase == JobPhase::Allocating && j.epoch == epoch {
-                        // Device departed while held: release and re-demand.
-                        devices[device].busy = false;
-                        j.assigned = j.assigned.saturating_sub(1);
-                        j.held.retain(|&d| d != device);
-                        scheduler.add_demand(job, 1, now);
-                    }
-                }
-                EventKind::Response {
-                    job,
-                    epoch,
-                    device,
-                    response_ms,
-                } => {
-                    devices[device].busy = false;
-                    let job_idx = job.as_u64() as usize;
-                    let j = &mut jobs[job_idx];
-                    let counting_phase = if self.config.async_mode {
-                        j.phase == JobPhase::Running || j.phase == JobPhase::Allocating
-                    } else {
-                        j.phase == JobPhase::Running
-                    };
-                    if !counting_phase || j.epoch != epoch {
-                        continue; // stale response: round already over
-                    }
-                    j.responses += 1;
-                    j.participants.push(device);
-                    let dev_info = DeviceInfo::new(
-                        DeviceId::new(device as u64),
-                        devices[device].profile.capacity,
-                    );
-                    scheduler.on_response(job, &dev_info, response_ms, now);
-                    let demand = workload.jobs[job_idx].demand;
-                    if j.responses >= self.config.quorum_target(demand) {
-                        self.complete_round(
-                            job_idx, now, workload, &mut jobs, scheduler, &mut queue,
-                            &mut result,
-                        );
-                    }
-                }
-                EventKind::AssignFailure { job, epoch, device } => {
-                    // Departed mid-computation. Synchronously the deadline
-                    // arbitrates the round's fate; in async mode the still-
-                    // open request can replace the device.
-                    devices[device].busy = false;
-                    result.failures += 1;
-                    if self.config.async_mode {
-                        let j = &mut jobs[job.as_u64() as usize];
-                        if j.phase == JobPhase::Allocating && j.epoch == epoch {
-                            j.assigned = j.assigned.saturating_sub(1);
-                            scheduler.add_demand(job, 1, now);
-                        }
-                    }
-                }
-                EventKind::RoundDeadline { job, epoch } => {
-                    let job_idx = job.as_u64() as usize;
-                    let j = &mut jobs[job_idx];
-                    let armed = if self.config.async_mode {
-                        j.phase == JobPhase::Running || j.phase == JobPhase::Allocating
-                    } else {
-                        j.phase == JobPhase::Running
-                    };
-                    if !armed || j.epoch != epoch {
-                        continue;
-                    }
-                    // Quorum missed: abort and retry after a short backoff.
-                    if j.phase == JobPhase::Allocating {
-                        scheduler.withdraw(job, now);
-                    }
-                    result.aborted_rounds += 1;
-                    j.record.rounds_aborted += 1;
-                    j.phase = JobPhase::Idle;
-                    j.epoch += 1;
-                    queue.push(
-                        now + self.config.abort_backoff_ms,
-                        EventKind::RoundStart { job_idx },
-                    );
-                }
-            }
-        }
-
-        result.records = jobs.into_iter().map(|j| j.record).collect();
-        result
+        self.run_observed(workload, scheduler, &mut [])
     }
 
-    /// Submits the request for the job's next round (allocation phase).
-    fn submit_round(
+    /// Like [`Simulation::run`], with [`SimObserver`]s hooked into the
+    /// event loop. Observers see every lifecycle moment but cannot perturb
+    /// the simulation: results are byte-identical with or without them.
+    pub fn run_observed(
         &self,
-        job_idx: usize,
-        now: SimTime,
         workload: &Workload,
-        jobs: &mut [JobRuntime],
         scheduler: &mut dyn Scheduler,
-        _queue: &mut EventQueue,
-    ) {
-        let plan = &workload.jobs[job_idx];
-        let j = &mut jobs[job_idx];
-        if j.phase != JobPhase::Idle {
-            return;
-        }
-        j.phase = JobPhase::Allocating;
-        j.request_start = now;
-        j.assigned = 0;
-        j.responses = 0;
-        j.held.clear();
-        j.participants.clear();
-        let remaining_rounds = plan.rounds - j.rounds_done;
-        let requested = self.config.requested(plan.demand);
-        scheduler.submit(
-            Request::new(
-                JobId::new(job_idx as u64),
-                j.spec,
-                requested,
-                remaining_rounds as u64 * plan.demand as u64,
-            ),
-            now,
-        );
-        // Async rounds carry no deadline: like buffered-asynchronous FL,
-        // the aggregation fires whenever the quorum of updates arrives, so
-        // participants computed for a round are never wasted. (Sync rounds
-        // arm their deadline at round start — see `start_round`.)
+        observers: &mut [&mut dyn SimObserver],
+    ) -> SimResult {
+        World::new(self.config, workload, scheduler.name()).run(scheduler, observers)
     }
 
-    /// All participants held: start computing, arm the deadline.
-    #[allow(clippy::too_many_arguments)]
-    fn start_round(
-        &self,
-        job_idx: usize,
-        now: SimTime,
-        workload: &Workload,
-        devices: &mut [DeviceState],
-        jobs: &mut [JobRuntime],
-        scheduler: &mut dyn Scheduler,
-        queue: &mut EventQueue,
-        noise: &LogNormal,
-        rng: &mut StdRng,
-    ) {
-        let plan = &workload.jobs[job_idx];
-        let job = JobId::new(job_idx as u64);
-        let j = &mut jobs[job_idx];
-        j.phase = JobPhase::Running;
-        j.round_start = now;
-        scheduler.on_alloc_complete(job, now - j.request_start, now);
-        scheduler.withdraw(job, now);
-        let today = now / DAY_MS;
-        for &device in &j.held {
-            let d = &mut devices[device];
-            d.last_task_day = Some(today);
-            let response_ms =
-                (plan.task_ms as f64 / d.profile.speed * noise.sample(rng)).max(1_000.0) as u64;
-            if now + response_ms <= d.session_end {
-                queue.push(
-                    now + response_ms,
-                    EventKind::Response {
-                        job,
-                        epoch: j.epoch,
-                        device,
-                        response_ms,
-                    },
-                );
-            } else {
-                queue.push(
-                    d.session_end,
-                    EventKind::AssignFailure {
-                        job,
-                        epoch: j.epoch,
-                        device,
-                    },
-                );
-            }
-        }
-        queue.push(
-            now + self.config.deadline_ms(plan.demand),
-            EventKind::RoundDeadline {
-                job,
-                epoch: j.epoch,
-            },
-        );
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn complete_round(
-        &self,
-        job_idx: usize,
-        now: SimTime,
-        workload: &Workload,
-        jobs: &mut [JobRuntime],
-        scheduler: &mut dyn Scheduler,
-        queue: &mut EventQueue,
-        result: &mut SimResult,
-    ) {
-        let plan = &workload.jobs[job_idx];
-        let j = &mut jobs[job_idx];
-        if j.phase == JobPhase::Allocating {
-            // Async quorum before full allocation: close the open request.
-            scheduler.withdraw(JobId::new(job_idx as u64), now);
-            j.round_start = now;
-        }
-        j.record.sched_delay_ms += j.round_start - j.request_start;
-        j.record.response_ms += now - j.round_start;
-        j.record.rounds_completed += 1;
-        if self.config.record_rounds {
-            result.rounds.push(RoundLog {
-                job_idx,
-                round: j.rounds_done,
-                start_ms: j.request_start,
-                end_ms: now,
-                participants: j.participants.clone(),
-            });
-        }
-        j.rounds_done += 1;
-        j.epoch += 1;
-        if j.rounds_done >= plan.rounds {
-            j.phase = JobPhase::Finished;
-            j.record.finish(now);
-        } else {
-            j.phase = JobPhase::Idle;
-            queue.push(
-                now + self.config.agg_delay_ms,
-                EventKind::RoundStart { job_idx },
-            );
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn check_in(
-        &self,
-        device: usize,
-        now: SimTime,
-        workload: &Workload,
-        devices: &mut [DeviceState],
-        jobs: &mut [JobRuntime],
-        scheduler: &mut dyn Scheduler,
-        queue: &mut EventQueue,
-        noise: &LogNormal,
-        rng: &mut StdRng,
-        result: &mut SimResult,
-    ) {
-        let today = now / DAY_MS;
-        {
-            let d = &devices[device];
-            if d.busy || now >= d.session_end {
-                return;
-            }
-            if self.config.one_task_per_day && d.last_task_day == Some(today) {
-                return; // exhausted its daily task; next session wakes it
-            }
-        }
-        let capacity: Capacity = devices[device].profile.capacity;
-        let info = DeviceInfo::new(DeviceId::new(device as u64), capacity);
-        scheduler.on_check_in(&info, now);
-        match scheduler.assign(&info, now) {
-            Some(job) => {
-                let job_idx = job.as_u64() as usize;
-                assert!(job_idx < jobs.len(), "scheduler assigned unknown job");
-                let j = &mut jobs[job_idx];
-                assert!(
-                    j.phase == JobPhase::Allocating,
-                    "scheduler assigned to a job without an active request"
-                );
-                result.assignments += 1;
-                j.assigned += 1;
-                if self.config.async_mode {
-                    // Async: compute immediately, no holding phase.
-                    let d = &mut devices[device];
-                    d.busy = true;
-                    d.last_task_day = Some(today);
-                    let task_ms = workload.jobs[job_idx].task_ms as f64;
-                    let response_ms =
-                        (task_ms / d.profile.speed * noise.sample(rng)).max(1_000.0) as u64;
-                    let kind = if now + response_ms <= d.session_end {
-                        EventKind::Response {
-                            job,
-                            epoch: j.epoch,
-                            device,
-                            response_ms,
-                        }
-                    } else {
-                        EventKind::AssignFailure {
-                            job,
-                            epoch: j.epoch,
-                            device,
-                        }
-                    };
-                    let at = (now + response_ms).min(d.session_end);
-                    queue.push(at, kind);
-                    let requested = self.config.requested(workload.jobs[job_idx].demand);
-                    if j.assigned >= requested && j.phase == JobPhase::Allocating {
-                        // Request filled: stop queueing, record the delay.
-                        j.phase = JobPhase::Running;
-                        j.round_start = now;
-                        scheduler.on_alloc_complete(job, now - j.request_start, now);
-                        scheduler.withdraw(job, now);
-                    }
-                    return;
-                }
-                j.held.push(device);
-                devices[device].busy = true;
-                queue.push(
-                    devices[device].session_end,
-                    EventKind::HoldExpire {
-                        job,
-                        epoch: j.epoch,
-                        device,
-                    },
-                );
-                let requested = self.config.requested(workload.jobs[job_idx].demand);
-                if j.assigned >= requested {
-                    self.start_round(
-                        job_idx, now, workload, devices, jobs, scheduler, queue, noise, rng,
-                    );
-                }
-            }
-            None => {
-                // Stay online and poll again later.
-                let next = now + self.config.repoll_ms;
-                if next < devices[device].session_end {
-                    queue.push(next, EventKind::CheckIn { device });
-                }
-            }
-        }
+    /// Builds the initial [`World`] without running it — for callers that
+    /// want to drive the event loop step by step.
+    pub fn world<'w>(&self, workload: &'w Workload, scheduler_name: &str) -> World<'w> {
+        World::new(self.config, workload, scheduler_name)
     }
 }
 
@@ -511,8 +84,10 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use venn_core::SpecCategory;
+    use venn_core::{JobId, SimTime, SpecCategory};
     use venn_traces::{JobDemandModel, JobPlan, Workload, WorkloadKind};
+
+    use crate::observer::{CompletionLog, EventTrace, RoundRecorder};
 
     fn tiny_workload(n: usize, demand: u32, rounds: u32) -> Workload {
         let jobs = (0..n)
@@ -557,6 +132,7 @@ mod tests {
         assert_eq!(a.records, b.records);
         assert_eq!(a.assignments, b.assignments);
         assert_eq!(a.aborted_rounds, b.aborted_rounds);
+        assert_eq!(a.events, b.events);
     }
 
     #[test]
@@ -745,5 +321,91 @@ mod tests {
             uncapped.records[0].rounds_completed >= capped.records[0].rounds_completed,
             "lifting the daily cap cannot slow progress"
         );
+    }
+
+    // --- observer behavior -------------------------------------------------
+
+    #[test]
+    fn observers_do_not_perturb_the_run() {
+        let w = tiny_workload(4, 8, 3);
+        let config = SimConfig::small();
+        let plain = run_fifo(&w, config);
+        let mut sched = venn_baselines::BaselineScheduler::fifo();
+        let mut trace = EventTrace::default();
+        let mut rounds = RoundRecorder::default();
+        let mut completions = CompletionLog::default();
+        let observed = Simulation::new(config).run_observed(
+            &w,
+            &mut sched,
+            &mut [&mut trace, &mut rounds, &mut completions],
+        );
+        assert_eq!(plain.records, observed.records);
+        assert_eq!(plain.assignments, observed.assignments);
+        assert_eq!(plain.aborted_rounds, observed.aborted_rounds);
+        assert_eq!(plain.events, observed.events);
+    }
+
+    #[test]
+    fn event_trace_counts_every_event() {
+        let w = tiny_workload(2, 5, 2);
+        let mut sched = venn_baselines::BaselineScheduler::fifo();
+        let mut trace = EventTrace::default();
+        let r = Simulation::new(SimConfig::small()).run_observed(&w, &mut sched, &mut [&mut trace]);
+        assert_eq!(trace.total, r.events);
+        let by_kind = trace.job_arrivals
+            + trace.session_starts
+            + trace.check_ins
+            + trace.hold_expires
+            + trace.responses
+            + trace.assign_failures
+            + trace.round_deadlines
+            + trace.round_starts;
+        assert_eq!(by_kind, trace.total);
+        assert!(trace.session_starts > 0);
+        assert!(trace.responses > 0);
+    }
+
+    #[test]
+    fn round_recorder_matches_builtin_round_logs() {
+        let w = tiny_workload(2, 5, 3);
+        let config = SimConfig {
+            record_rounds: true,
+            ..SimConfig::small()
+        };
+        let mut sched = venn_baselines::BaselineScheduler::fifo();
+        let mut recorder = RoundRecorder::default();
+        let r = Simulation::new(config).run_observed(&w, &mut sched, &mut [&mut recorder]);
+        assert_eq!(recorder.rounds, r.rounds);
+        assert_eq!(recorder.rounds.len(), 6);
+    }
+
+    #[test]
+    fn completion_log_sees_every_finished_job() {
+        let w = tiny_workload(3, 5, 2);
+        let mut sched = venn_baselines::BaselineScheduler::fifo();
+        let mut log = CompletionLog::default();
+        let r = Simulation::new(SimConfig::small()).run_observed(&w, &mut sched, &mut [&mut log]);
+        let finished = r.records.iter().filter(|rec| rec.is_finished()).count();
+        assert_eq!(log.finished.len(), finished);
+        // Completion order is chronological.
+        for pair in log.finished.windows(2) {
+            assert!(pair[0].0 <= pair[1].0);
+        }
+    }
+
+    #[test]
+    fn world_can_be_stepped_manually() {
+        let w = tiny_workload(1, 5, 1);
+        let sim = Simulation::new(SimConfig::small());
+        let mut sched = venn_baselines::BaselineScheduler::fifo();
+        let mut world = sim.world(&w, sched.name());
+        let mut steps = 0u64;
+        while world.step(&mut sched, &mut []) {
+            steps += 1;
+        }
+        assert_eq!(steps, world.events_processed());
+        let result = world.finish(&mut []);
+        assert_eq!(result.events, steps);
+        assert!(result.completion_rate() > 0.99);
     }
 }

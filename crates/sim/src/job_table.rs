@@ -1,0 +1,191 @@
+//! Per-job runtime state: round phases, epochs, held devices, and JCT
+//! accounting.
+
+use venn_core::{CategoryThresholds, SimTime};
+use venn_metrics::JctRecord;
+use venn_traces::Workload;
+
+/// Where a job is in its round lifecycle (paper Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobPhase {
+    /// Not yet arrived or between rounds.
+    Idle,
+    /// A round request is outstanding; devices are being held.
+    Allocating,
+    /// All participants are computing; the deadline is ticking.
+    Running,
+    /// All rounds done.
+    Finished,
+}
+
+/// Mutable state of one job across its rounds.
+#[derive(Debug)]
+pub struct JobRuntime {
+    /// Eligibility spec derived from the job's category.
+    pub spec: venn_core::ResourceSpec,
+    /// Rounds completed so far.
+    pub rounds_done: u32,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Request incarnation; bumped on round completion/abort so stale
+    /// events are ignored.
+    pub epoch: u32,
+    /// When the current round's request was submitted.
+    pub request_start: SimTime,
+    /// When the current round started computing.
+    pub round_start: SimTime,
+    /// Devices assigned to the current request.
+    pub assigned: u32,
+    /// Responses received this round.
+    pub responses: u32,
+    /// Devices currently held (population indices).
+    pub held: Vec<usize>,
+    /// Devices that responded this round.
+    pub participants: Vec<usize>,
+    /// JCT accounting for the final report.
+    pub record: JctRecord,
+}
+
+impl JobRuntime {
+    /// Resets per-round state when a new request is submitted.
+    pub fn begin_request(&mut self, now: SimTime) {
+        self.phase = JobPhase::Allocating;
+        self.request_start = now;
+        self.assigned = 0;
+        self.responses = 0;
+        self.held.clear();
+        self.participants.clear();
+    }
+
+    /// Whether an event stamped with `epoch` still refers to the current
+    /// round incarnation.
+    pub fn epoch_is(&self, epoch: u32) -> bool {
+        self.epoch == epoch
+    }
+}
+
+/// Runtime state of every job in the workload, indexed like
+/// `workload.jobs`.
+#[derive(Debug)]
+pub struct JobTable {
+    jobs: Vec<JobRuntime>,
+}
+
+impl JobTable {
+    /// Builds the table from the workload's job plans.
+    pub fn new(workload: &Workload, thresholds: CategoryThresholds) -> Self {
+        JobTable {
+            jobs: workload
+                .jobs
+                .iter()
+                .map(|plan| JobRuntime {
+                    spec: plan.spec(thresholds),
+                    rounds_done: 0,
+                    phase: JobPhase::Idle,
+                    epoch: 0,
+                    request_start: 0,
+                    round_start: 0,
+                    assigned: 0,
+                    responses: 0,
+                    held: Vec::new(),
+                    participants: Vec::new(),
+                    record: JctRecord::new(plan.arrival_ms),
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Read access to one job.
+    pub fn get(&self, job_idx: usize) -> &JobRuntime {
+        &self.jobs[job_idx]
+    }
+
+    /// Write access to one job.
+    pub fn get_mut(&mut self, job_idx: usize) -> &mut JobRuntime {
+        &mut self.jobs[job_idx]
+    }
+
+    /// Consumes the table, yielding the per-job completion records in
+    /// workload order.
+    pub fn into_records(self) -> Vec<JctRecord> {
+        self.jobs.into_iter().map(|j| j.record).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn table() -> JobTable {
+        let mut rng = StdRng::seed_from_u64(11);
+        let workload = Workload::default_scenario(4, &mut rng);
+        JobTable::new(
+            &workload,
+            CategoryThresholds {
+                cpu: 0.55,
+                mem: 0.55,
+            },
+        )
+    }
+
+    #[test]
+    fn starts_idle_with_zeroed_counters() {
+        let t = table();
+        assert_eq!(t.len(), 4);
+        for i in 0..t.len() {
+            let j = t.get(i);
+            assert_eq!(j.phase, JobPhase::Idle);
+            assert_eq!(j.rounds_done, 0);
+            assert_eq!(j.epoch, 0);
+            assert!(j.held.is_empty());
+        }
+    }
+
+    #[test]
+    fn begin_request_resets_round_state() {
+        let mut t = table();
+        let j = t.get_mut(0);
+        j.assigned = 5;
+        j.responses = 3;
+        j.held = vec![1, 2];
+        j.participants = vec![1];
+        j.begin_request(9_000);
+        assert_eq!(j.phase, JobPhase::Allocating);
+        assert_eq!(j.request_start, 9_000);
+        assert_eq!(j.assigned, 0);
+        assert_eq!(j.responses, 0);
+        assert!(j.held.is_empty() && j.participants.is_empty());
+    }
+
+    #[test]
+    fn epochs_guard_stale_events() {
+        let mut t = table();
+        assert!(t.get(1).epoch_is(0));
+        t.get_mut(1).epoch += 1;
+        assert!(!t.get(1).epoch_is(0));
+        assert!(t.get(1).epoch_is(1));
+    }
+
+    #[test]
+    fn into_records_preserves_workload_order() {
+        let t = table();
+        let arrivals: Vec<_> = (0..t.len()).map(|i| t.get(i).record.arrival_ms).collect();
+        let records = t.into_records();
+        assert_eq!(
+            records.iter().map(|r| r.arrival_ms).collect::<Vec<_>>(),
+            arrivals
+        );
+    }
+}

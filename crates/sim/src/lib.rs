@@ -30,12 +30,20 @@
 //! ```
 
 pub mod config;
+pub mod device_pool;
 pub mod engine;
 pub mod event;
+pub mod job_table;
+pub mod observer;
 pub mod result;
+pub mod world;
 
 pub use config::SimConfig;
+pub use device_pool::{DevicePool, DeviceState};
 pub use engine::Simulation;
+pub use job_table::{JobPhase, JobRuntime, JobTable};
+pub use observer::{CompletionLog, EventTrace, RoundRecorder, SimObserver};
 pub use result::{RoundLog, SimResult};
+pub use world::World;
 
 pub use venn_core::Scheduler;

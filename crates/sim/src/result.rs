@@ -34,6 +34,9 @@ pub struct SimResult {
     pub assignments: u64,
     /// Assignments that failed (device departed mid-task).
     pub failures: u64,
+    /// Total events the kernel dispatched — the numerator of the
+    /// events-per-second throughput metric.
+    pub events: u64,
 }
 
 impl SimResult {
@@ -56,8 +59,7 @@ impl SimResult {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().filter(|r| r.is_finished()).count() as f64
-            / self.records.len() as f64
+        self.records.iter().filter(|r| r.is_finished()).count() as f64 / self.records.len() as f64
     }
 }
 

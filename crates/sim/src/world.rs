@@ -1,0 +1,562 @@
+//! The simulation kernel: a [`World`] state machine stepping an event
+//! queue over named sub-state.
+//!
+//! `World` owns the [`DevicePool`] (sessions, busy flags, daily caps), the
+//! [`JobTable`] (round phases, epochs, JCT accounting), and the
+//! [`EventQueue`]; every [`EventKind`] is handled by a dedicated method.
+//! The driver ([`Simulation::run`](crate::Simulation::run)) just
+//! constructs a world and steps it, and [`SimObserver`]s hook lifecycle
+//! moments without touching the loop — new device-behavior models,
+//! metrics, or scenario logic extend the kernel instead of editing a
+//! monolith.
+//!
+//! Determinism contract: all randomness flows through one seeded RNG in a
+//! fixed draw order, events are totally ordered by `(time, seq)`, and
+//! observers run strictly after state transitions — so identical
+//! `(config, workload, scheduler)` inputs produce byte-identical
+//! [`SimResult`]s, with or without observers attached.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use venn_core::{JobId, Scheduler, SimTime};
+use venn_traces::dist::LogNormal;
+use venn_traces::Workload;
+
+use crate::config::SimConfig;
+use crate::device_pool::DevicePool;
+use crate::event::{Event, EventKind, EventQueue};
+use crate::job_table::{JobPhase, JobTable};
+use crate::observer::SimObserver;
+use crate::result::{RoundLog, SimResult};
+
+/// One simulated world: all mutable state of a run plus its immutable
+/// environment (config and workload).
+#[derive(Debug)]
+pub struct World<'w> {
+    config: SimConfig,
+    workload: &'w Workload,
+    /// Device population state.
+    pub devices: DevicePool,
+    /// Per-job runtime state.
+    pub jobs: JobTable,
+    /// Pending events.
+    pub queue: EventQueue,
+    rng: StdRng,
+    noise: LogNormal,
+    result: SimResult,
+    horizon: SimTime,
+}
+
+impl<'w> World<'w> {
+    /// Builds the initial world state: samples the device population,
+    /// generates availability sessions, and seeds the queue with session
+    /// starts and job arrivals.
+    pub fn new(config: SimConfig, workload: &'w Workload, scheduler_name: &str) -> Self {
+        let horizon = config.horizon_ms();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let profiles = config
+            .capacity
+            .sample_population(config.population, &mut rng);
+        let sessions = config
+            .availability
+            .generate(config.population, config.days, &mut rng);
+        let noise = LogNormal::from_mean_cv(1.0, config.response_noise_cv.max(1e-6));
+
+        let mut queue = EventQueue::new();
+        for s in &sessions {
+            if s.start < horizon {
+                queue.push(
+                    s.start,
+                    EventKind::SessionStart {
+                        device: s.device,
+                        session_end: s.end.min(horizon),
+                    },
+                );
+            }
+        }
+        for (idx, plan) in workload.jobs.iter().enumerate() {
+            if plan.arrival_ms < horizon {
+                queue.push(plan.arrival_ms, EventKind::JobArrival { job_idx: idx });
+            }
+        }
+
+        World {
+            devices: DevicePool::new(profiles),
+            jobs: JobTable::new(workload, config.thresholds),
+            queue,
+            rng,
+            noise,
+            result: SimResult {
+                scheduler_name: scheduler_name.to_string(),
+                ..SimResult::default()
+            },
+            horizon,
+            config,
+            workload,
+        }
+    }
+
+    /// The environment configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The workload under simulation.
+    pub fn workload(&self) -> &'w Workload {
+        self.workload
+    }
+
+    /// Events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.result.events
+    }
+
+    /// Pops and dispatches the next event. Returns `false` when the queue
+    /// is exhausted or the horizon is passed.
+    pub fn step(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) -> bool {
+        let Some(event) = self.queue.pop() else {
+            return false;
+        };
+        if event.time > self.horizon {
+            return false;
+        }
+        self.result.events += 1;
+        for o in observers.iter_mut() {
+            o.on_event(event.time, &event.kind);
+        }
+        self.dispatch(event, scheduler, observers);
+        true
+    }
+
+    /// Runs the event loop to completion and returns the results.
+    pub fn run(
+        mut self,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) -> SimResult {
+        while self.step(scheduler, observers) {}
+        self.finish(observers)
+    }
+
+    /// Finalizes the run: folds job records into the result and notifies
+    /// observers.
+    pub fn finish(self, observers: &mut [&mut dyn SimObserver]) -> SimResult {
+        let mut result = self.result;
+        result.records = self.jobs.into_records();
+        for o in observers.iter_mut() {
+            o.on_run_end(&result);
+        }
+        result
+    }
+
+    /// Routes one event to its handler method.
+    fn dispatch(
+        &mut self,
+        event: Event,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        let now = event.time;
+        match event.kind {
+            EventKind::JobArrival { job_idx } | EventKind::RoundStart { job_idx } => {
+                self.handle_round_submit(job_idx, now, scheduler)
+            }
+            EventKind::SessionStart {
+                device,
+                session_end,
+            } => self.handle_session_start(device, session_end, now, scheduler, observers),
+            EventKind::CheckIn { device } => {
+                self.handle_check_in(device, now, scheduler, observers)
+            }
+            EventKind::HoldExpire { job, epoch, device } => {
+                self.handle_hold_expire(job, epoch, device, now, scheduler)
+            }
+            EventKind::Response {
+                job,
+                epoch,
+                device,
+                response_ms,
+            } => self.handle_response(job, epoch, device, response_ms, now, scheduler, observers),
+            EventKind::AssignFailure { job, epoch, device } => {
+                self.handle_assign_failure(job, epoch, device, now, scheduler)
+            }
+            EventKind::RoundDeadline { job, epoch } => {
+                self.handle_round_deadline(job, epoch, now, scheduler, observers)
+            }
+        }
+    }
+
+    /// `JobArrival` / `RoundStart`: submits the request for the job's next
+    /// round (allocation phase).
+    fn handle_round_submit(&mut self, job_idx: usize, now: SimTime, scheduler: &mut dyn Scheduler) {
+        let plan = &self.workload.jobs[job_idx];
+        let j = self.jobs.get_mut(job_idx);
+        if j.phase != JobPhase::Idle {
+            return;
+        }
+        j.begin_request(now);
+        let remaining_rounds = plan.rounds - j.rounds_done;
+        let requested = self.config.requested(plan.demand);
+        scheduler.submit(
+            venn_core::Request::new(
+                JobId::new(job_idx as u64),
+                j.spec,
+                requested,
+                remaining_rounds as u64 * plan.demand as u64,
+            ),
+            now,
+        );
+        // Async rounds carry no deadline: like buffered-asynchronous FL,
+        // the aggregation fires whenever the quorum of updates arrives, so
+        // participants computed for a round are never wasted. (Sync rounds
+        // arm their deadline at round start — see `start_round`.)
+    }
+
+    /// `SessionStart`: the device comes online (sessions only extend) and
+    /// immediately polls.
+    fn handle_session_start(
+        &mut self,
+        device: usize,
+        session_end: SimTime,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        self.devices.begin_session(device, session_end);
+        self.handle_check_in(device, now, scheduler, observers);
+    }
+
+    /// `CheckIn`: an online, idle device polls the resource manager and is
+    /// assigned (or repolls later).
+    fn handle_check_in(
+        &mut self,
+        device: usize,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        if !self
+            .devices
+            .can_check_in(device, now, self.config.one_task_per_day)
+        {
+            return;
+        }
+        let info = self.devices.info(device);
+        scheduler.on_check_in(&info, now);
+        match scheduler.assign(&info, now) {
+            Some(job) => {
+                let job_idx = job.as_u64() as usize;
+                assert!(job_idx < self.jobs.len(), "scheduler assigned unknown job");
+                assert!(
+                    self.jobs.get(job_idx).phase == JobPhase::Allocating,
+                    "scheduler assigned to a job without an active request"
+                );
+                self.result.assignments += 1;
+                self.jobs.get_mut(job_idx).assigned += 1;
+                for o in observers.iter_mut() {
+                    o.on_assignment(now, job_idx, device);
+                }
+                if self.config.async_mode {
+                    self.assign_async(job, job_idx, device, now, scheduler, observers);
+                    return;
+                }
+                self.jobs.get_mut(job_idx).held.push(device);
+                self.devices.mark_busy(device);
+                self.queue.push(
+                    self.devices.session_end(device),
+                    EventKind::HoldExpire {
+                        job,
+                        epoch: self.jobs.get(job_idx).epoch,
+                        device,
+                    },
+                );
+                let requested = self.config.requested(self.workload.jobs[job_idx].demand);
+                if self.jobs.get(job_idx).assigned >= requested {
+                    self.start_round(job_idx, now, scheduler, observers);
+                }
+            }
+            None => {
+                // Stay online and poll again later.
+                let next = now + self.config.repoll_ms;
+                if next < self.devices.session_end(device) {
+                    self.queue.push(next, EventKind::CheckIn { device });
+                }
+            }
+        }
+    }
+
+    /// Async-mode assignment: the device computes immediately, no holding
+    /// phase; the request closes as soon as it is filled.
+    fn assign_async(
+        &mut self,
+        job: JobId,
+        job_idx: usize,
+        device: usize,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        self.devices.mark_busy(device);
+        self.devices.note_task(device, now);
+        let d = self.devices.get(device);
+        let task_ms = self.workload.jobs[job_idx].task_ms as f64;
+        let response_ms =
+            (task_ms / d.profile.speed * self.noise.sample(&mut self.rng)).max(1_000.0) as u64;
+        let session_end = d.session_end;
+        let epoch = self.jobs.get(job_idx).epoch;
+        let kind = if now + response_ms <= session_end {
+            EventKind::Response {
+                job,
+                epoch,
+                device,
+                response_ms,
+            }
+        } else {
+            EventKind::AssignFailure { job, epoch, device }
+        };
+        self.queue.push((now + response_ms).min(session_end), kind);
+        let requested = self.config.requested(self.workload.jobs[job_idx].demand);
+        let j = self.jobs.get_mut(job_idx);
+        if j.assigned >= requested && j.phase == JobPhase::Allocating {
+            // Request filled: stop queueing, record the delay.
+            j.phase = JobPhase::Running;
+            j.round_start = now;
+            let round = j.rounds_done;
+            let delay = now - j.request_start;
+            scheduler.on_alloc_complete(job, delay, now);
+            scheduler.withdraw(job, now);
+            for o in observers.iter_mut() {
+                o.on_round_start(now, job_idx, round);
+            }
+        }
+    }
+
+    /// All participants held: start computing, arm the deadline.
+    fn start_round(
+        &mut self,
+        job_idx: usize,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        let job = JobId::new(job_idx as u64);
+        let task_ms = self.workload.jobs[job_idx].task_ms as f64;
+        let demand = self.workload.jobs[job_idx].demand;
+        {
+            let j = self.jobs.get_mut(job_idx);
+            j.phase = JobPhase::Running;
+            j.round_start = now;
+        }
+        let j = self.jobs.get(job_idx);
+        scheduler.on_alloc_complete(job, now - j.request_start, now);
+        scheduler.withdraw(job, now);
+        let epoch = j.epoch;
+        let round = j.rounds_done;
+        let held = j.held.clone();
+        for device in held {
+            self.devices.note_task(device, now);
+            let d = self.devices.get(device);
+            let response_ms =
+                (task_ms / d.profile.speed * self.noise.sample(&mut self.rng)).max(1_000.0) as u64;
+            if now + response_ms <= d.session_end {
+                self.queue.push(
+                    now + response_ms,
+                    EventKind::Response {
+                        job,
+                        epoch,
+                        device,
+                        response_ms,
+                    },
+                );
+            } else {
+                self.queue.push(
+                    d.session_end,
+                    EventKind::AssignFailure { job, epoch, device },
+                );
+            }
+        }
+        self.queue.push(
+            now + self.config.deadline_ms(demand),
+            EventKind::RoundDeadline { job, epoch },
+        );
+        for o in observers.iter_mut() {
+            o.on_round_start(now, job_idx, round);
+        }
+    }
+
+    /// `HoldExpire`: a held (allocated but not yet computing) device's
+    /// session ended — release it and return its demand.
+    fn handle_hold_expire(
+        &mut self,
+        job: JobId,
+        epoch: u32,
+        device: usize,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+    ) {
+        let j = self.jobs.get_mut(job.as_u64() as usize);
+        if j.phase == JobPhase::Allocating && j.epoch_is(epoch) {
+            // Device departed while held: release and re-demand.
+            j.assigned = j.assigned.saturating_sub(1);
+            j.held.retain(|&d| d != device);
+            self.devices.release(device);
+            scheduler.add_demand(job, 1, now);
+        }
+    }
+
+    /// `Response`: a device reports back; the round completes when the
+    /// quorum is reached.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_response(
+        &mut self,
+        job: JobId,
+        epoch: u32,
+        device: usize,
+        response_ms: u64,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        self.devices.release(device);
+        let job_idx = job.as_u64() as usize;
+        let async_mode = self.config.async_mode;
+        let j = self.jobs.get_mut(job_idx);
+        let counting_phase = if async_mode {
+            j.phase == JobPhase::Running || j.phase == JobPhase::Allocating
+        } else {
+            j.phase == JobPhase::Running
+        };
+        if !counting_phase || !j.epoch_is(epoch) {
+            return; // stale response: round already over
+        }
+        j.responses += 1;
+        j.participants.push(device);
+        let responses = j.responses;
+        let dev_info = self.devices.info(device);
+        scheduler.on_response(job, &dev_info, response_ms, now);
+        let demand = self.workload.jobs[job_idx].demand;
+        if responses >= self.config.quorum_target(demand) {
+            self.complete_round(job_idx, now, scheduler, observers);
+        }
+    }
+
+    /// `AssignFailure`: a device departed mid-computation. Synchronously
+    /// the deadline arbitrates the round's fate; in async mode the still-
+    /// open request can replace the device.
+    fn handle_assign_failure(
+        &mut self,
+        job: JobId,
+        epoch: u32,
+        device: usize,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+    ) {
+        self.devices.release(device);
+        self.result.failures += 1;
+        if self.config.async_mode {
+            let j = self.jobs.get_mut(job.as_u64() as usize);
+            if j.phase == JobPhase::Allocating && j.epoch_is(epoch) {
+                j.assigned = j.assigned.saturating_sub(1);
+                scheduler.add_demand(job, 1, now);
+            }
+        }
+    }
+
+    /// `RoundDeadline`: quorum missed — abort and retry after a short
+    /// backoff.
+    fn handle_round_deadline(
+        &mut self,
+        job: JobId,
+        epoch: u32,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        let job_idx = job.as_u64() as usize;
+        let async_mode = self.config.async_mode;
+        let j = self.jobs.get_mut(job_idx);
+        let armed = if async_mode {
+            j.phase == JobPhase::Running || j.phase == JobPhase::Allocating
+        } else {
+            j.phase == JobPhase::Running
+        };
+        if !armed || !j.epoch_is(epoch) {
+            return;
+        }
+        if j.phase == JobPhase::Allocating {
+            scheduler.withdraw(job, now);
+        }
+        self.result.aborted_rounds += 1;
+        let j = self.jobs.get_mut(job_idx);
+        j.record.rounds_aborted += 1;
+        j.phase = JobPhase::Idle;
+        j.epoch += 1;
+        let round = j.rounds_done;
+        self.queue.push(
+            now + self.config.abort_backoff_ms,
+            EventKind::RoundStart { job_idx },
+        );
+        for o in observers.iter_mut() {
+            o.on_round_abort(now, job_idx, round);
+        }
+    }
+
+    /// Quorum reached: close the round, account its timing, and schedule
+    /// the next one (or finish the job).
+    fn complete_round(
+        &mut self,
+        job_idx: usize,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        let plan_rounds = self.workload.jobs[job_idx].rounds;
+        let record_rounds = self.config.record_rounds;
+        let agg_delay = self.config.agg_delay_ms;
+        let j = self.jobs.get_mut(job_idx);
+        if j.phase == JobPhase::Allocating {
+            // Async quorum before full allocation: close the open request.
+            scheduler.withdraw(JobId::new(job_idx as u64), now);
+            j.round_start = now;
+        }
+        j.record.sched_delay_ms += j.round_start - j.request_start;
+        j.record.response_ms += now - j.round_start;
+        j.record.rounds_completed += 1;
+        let log = (record_rounds || !observers.is_empty()).then(|| RoundLog {
+            job_idx,
+            round: j.rounds_done,
+            start_ms: j.request_start,
+            end_ms: now,
+            participants: j.participants.clone(),
+        });
+        j.rounds_done += 1;
+        j.epoch += 1;
+        let finished = j.rounds_done >= plan_rounds;
+        if finished {
+            j.phase = JobPhase::Finished;
+            j.record.finish(now);
+        } else {
+            j.phase = JobPhase::Idle;
+            self.queue
+                .push(now + agg_delay, EventKind::RoundStart { job_idx });
+        }
+        if let Some(log) = log {
+            if record_rounds {
+                self.result.rounds.push(log.clone());
+            }
+            for o in observers.iter_mut() {
+                o.on_round_complete(now, &log);
+            }
+        }
+        if finished {
+            for o in observers.iter_mut() {
+                o.on_job_finish(now, job_idx);
+            }
+        }
+    }
+}

@@ -1,8 +1,8 @@
 //! Diurnal device availability (substitute for the FedScale trace).
 //!
-//! Figure 2a of the paper shows the fraction of available devices (charging
-//! + WiFi) swinging diurnally between roughly 15 % and 30 % of the
-//! population over a multi-day horizon. [`AvailabilityModel`] generates
+//! Figure 2a of the paper shows the fraction of available devices
+//! (charging and on WiFi) swinging diurnally between roughly 15 % and
+//! 30 % of the population over a multi-day horizon. [`AvailabilityModel`] generates
 //! per-device availability *sessions* from a sinusoidal daily intensity:
 //! each device independently starts 0–2 sessions per day, biased toward the
 //! nightly charging peak, with log-normal session durations. The union of
@@ -178,8 +178,7 @@ mod tests {
         let m = AvailabilityModel::default();
         let pop = 2_000;
         let sessions = m.generate(pop, 4, &mut rng);
-        let curve =
-            AvailabilityModel::online_fraction_curve(&sessions, pop, 4 * DAY_MS, HOUR_MS);
+        let curve = AvailabilityModel::online_fraction_curve(&sessions, pop, 4 * DAY_MS, HOUR_MS);
         // Skip day 0 warm-up (no sessions carry in from "yesterday").
         let steady: Vec<f64> = curve
             .iter()
@@ -188,7 +187,10 @@ mod tests {
             .collect();
         let max = steady.iter().cloned().fold(0.0, f64::max);
         let min = steady.iter().cloned().fold(1.0, f64::min);
-        assert!(max > 1.5 * min, "diurnal swing expected: min={min} max={max}");
+        assert!(
+            max > 1.5 * min,
+            "diurnal swing expected: min={min} max={max}"
+        );
         // Magnitudes in the Fig. 2a ballpark (a few percent to tens of %).
         assert!(max < 0.6 && max > 0.05, "online fraction peak {max}");
     }

@@ -96,7 +96,10 @@ impl CapacityModel {
     /// Fraction of a sampled population in each of the paper's four regions
     /// (General-only, Compute-Rich-only, Memory-Rich-only, High-Perf),
     /// in [`SpecCategory::ALL`] order of the *finest* region.
-    pub fn region_fractions(population: &[DeviceProfile], thresholds: CategoryThresholds) -> [f64; 4] {
+    pub fn region_fractions(
+        population: &[DeviceProfile],
+        thresholds: CategoryThresholds,
+    ) -> [f64; 4] {
         let mut counts = [0usize; 4];
         for d in population {
             let cat = SpecCategory::of_device(&d.capacity, thresholds);

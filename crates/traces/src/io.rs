@@ -39,14 +39,21 @@ impl ParseWorkloadError {
 
 impl fmt::Display for ParseWorkloadError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid workload record on line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "invalid workload record on line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
 impl Error for ParseWorkloadError {}
 
 fn category_from_label(label: &str) -> Option<SpecCategory> {
-    SpecCategory::ALL.iter().copied().find(|c| c.label() == label)
+    SpecCategory::ALL
+        .iter()
+        .copied()
+        .find(|c| c.label() == label)
 }
 
 /// Renders a workload as TSV (with a `#`-prefixed header line).

@@ -201,7 +201,7 @@ impl Workload {
 
 fn sample_category<R: Rng + ?Sized>(bias: Option<BiasKind>, rng: &mut R) -> SpecCategory {
     match bias {
-        None => SpecCategory::ALL[rng.gen_range(0..4)],
+        None => SpecCategory::ALL[rng.gen_range(0..4usize)],
         Some(b) => {
             let favored = b.favored();
             if rng.gen::<f64>() < 0.5 {
@@ -240,10 +240,16 @@ mod tests {
     fn arrivals_are_increasing_and_poisson_scaled() {
         let w = gen(WorkloadKind::Even, None, 50, 1);
         assert_eq!(w.jobs.len(), 50);
-        assert!(w.jobs.windows(2).all(|p| p[0].arrival_ms <= p[1].arrival_ms));
+        assert!(w
+            .jobs
+            .windows(2)
+            .all(|p| p[0].arrival_ms <= p[1].arrival_ms));
         let span = w.jobs.last().unwrap().arrival_ms as f64;
         let expected = 50.0 * 30.0 * MINUTE_MS as f64;
-        assert!(span > expected * 0.5 && span < expected * 2.0, "span {span}");
+        assert!(
+            span > expected * 0.5 && span < expected * 2.0,
+            "span {span}"
+        );
     }
 
     #[test]

@@ -48,5 +48,9 @@ fn main() {
         venn.pending_demand(emoji)
     );
     assert_eq!(venn.pending_demand(emoji), Some(0), "emoji fully served");
-    assert_eq!(venn.pending_demand(keyboard), Some(0), "keyboard fully served");
+    assert_eq!(
+        venn.pending_demand(keyboard),
+        Some(0),
+        "keyboard fully served"
+    );
 }

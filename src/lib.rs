@@ -1,5 +1,6 @@
 //! Facade crate re-exporting the whole Venn workspace.
 pub use venn_baselines as baselines;
+pub use venn_bench as bench;
 pub use venn_core as core;
 pub use venn_fl as fl;
 pub use venn_metrics as metrics;

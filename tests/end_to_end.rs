@@ -157,7 +157,10 @@ fn fairness_knob_protects_the_largest_job() {
         .max_by_key(|&i| w.jobs[i].total_demand())
         .unwrap();
     let plain = run_with(&w, Box::new(VennScheduler::new(VennConfig::default())));
-    let fair = run_with(&w, Box::new(VennScheduler::new(VennConfig::with_fairness(4.0))));
+    let fair = run_with(
+        &w,
+        Box::new(VennScheduler::new(VennConfig::with_fairness(4.0))),
+    );
     let jct = |r: &SimResult| r.records[biggest].jct_ms().unwrap_or(u64::MAX);
     // With a strong knob the largest job must not be (much) worse off.
     assert!(

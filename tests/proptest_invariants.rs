@@ -17,8 +17,8 @@ use venn::opt::{fixed_order_cost, solve, Arrival, Instance};
 /// regions induced by random nesting.
 fn irs_inputs() -> impl Strategy<Value = (Vec<GroupSummary>, Vec<RegionSupply>)> {
     (2usize..6).prop_flat_map(|n| {
-        let groups = proptest::collection::vec((0.01f64..10.0, 0.0f64..20.0), n).prop_map(
-            move |params| {
+        let groups =
+            proptest::collection::vec((0.01f64..10.0, 0.0f64..20.0), n).prop_map(move |params| {
                 params
                     .iter()
                     .enumerate()
@@ -28,18 +28,14 @@ fn irs_inputs() -> impl Strategy<Value = (Vec<GroupSummary>, Vec<RegionSupply>)>
                         queue_len: *queue,
                     })
                     .collect::<Vec<_>>()
-            },
-        );
+            });
         // Regions: a handful of non-empty masks over n bits.
-        let regions = proptest::collection::vec(
-            (1u128..(1 << n), 0.01f64..5.0),
-            1..8,
-        )
-        .prop_map(|rs| {
-            rs.into_iter()
-                .map(|(mask, rate)| RegionSupply { mask, rate })
-                .collect::<Vec<_>>()
-        });
+        let regions =
+            proptest::collection::vec((1u128..(1 << n), 0.01f64..5.0), 1..8).prop_map(|rs| {
+                rs.into_iter()
+                    .map(|(mask, rate)| RegionSupply { mask, rate })
+                    .collect::<Vec<_>>()
+            });
         (groups, regions)
     })
 }

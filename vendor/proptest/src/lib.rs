@@ -1,0 +1,285 @@
+//! Vendored, dependency-free stand-in for `proptest` (narrow API subset).
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! what the workspace's property tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`], and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros. Each test runs a fixed number of cases from a
+//! deterministic seed. There is no shrinking: a failing case panics with
+//! the case number so it can be replayed (the inputs are a pure function
+//! of the seed and case index).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of random cases each `proptest!` test executes.
+pub const CASES: u32 = 64;
+
+/// Fixed seed for the deterministic test stream.
+pub const SEED: u64 = 0x5EED_CAFE_F00D_D00D;
+
+/// The RNG driving strategy generation.
+pub type TestRng = StdRng;
+
+/// Creates the deterministic RNG used by `proptest!` expansions.
+pub fn test_rng() -> TestRng {
+    StdRng::seed_from_u64(SEED)
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        MapStrategy { base: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMapStrategy { base: self, f }
+    }
+}
+
+/// `prop_map` adapter.
+pub struct MapStrategy<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, U, F> Strategy for MapStrategy<B, F>
+where
+    B: Strategy,
+    F: Fn(B::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+pub struct FlatMapStrategy<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, S, F> Strategy for FlatMapStrategy<B, F>
+where
+    B: Strategy,
+    S: Strategy,
+    F: Fn(B::Value) -> S,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (self.f)(self.base.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u128;
+                let draw = ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128;
+                self.start + (draw % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, u128, usize, i32, i64);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let u: f64 = rng.gen();
+        (self.start + u * (self.end - self.start)).min(self.end - f64::EPSILON)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Vector length specification: a fixed size or a half-open range.
+    pub struct SizeRange(core::ops::Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `len` (a range or a fixed count).
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        let SizeRange(len) = len.into();
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Asserts a property; panics with the failing expression on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality of two expressions.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`] deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::test_rng();
+                for case in 0..$crate::CASES {
+                    let run = |rng: &mut $crate::TestRng| {
+                        $(let $pat = $crate::Strategy::generate(&($strat), rng);)+
+                        $body
+                    };
+                    let outcome = std::panic::catch_unwind(
+                        std::panic::AssertUnwindSafe(|| run(&mut rng)),
+                    );
+                    if let Err(payload) = outcome {
+                        eprintln!(
+                            "proptest {}: failed at case {case} (seed {:#x})",
+                            stringify!($name),
+                            $crate::SEED,
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_vecs_compose(
+            pairs in crate::collection::vec((0u64..10, 0.0f64..1.0), 1..9),
+        ) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 9);
+            for (a, b) in &pairs {
+                prop_assert!(*a < 10);
+                prop_assert!((0.0..1.0).contains(b));
+            }
+        }
+
+        #[test]
+        fn flat_map_feeds_dependent_strategy(
+            (n, xs) in (1usize..5).prop_flat_map(|n| {
+                ((n..n + 1), crate::collection::vec(0u128..(1 << n), 1..4))
+            }),
+        ) {
+            for x in &xs {
+                prop_assert!(*x < (1 << n), "{x} out of range for n={n}");
+            }
+        }
+
+        #[test]
+        fn prop_map_transforms(v in (0u32..5).prop_map(|x| x * 3)) {
+            prop_assert_eq!(v % 3, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::test_rng();
+        let mut b = crate::test_rng();
+        let s = 0.0f64..1.0;
+        for _ in 0..32 {
+            assert_eq!(
+                Strategy::generate(&s, &mut a),
+                Strategy::generate(&s, &mut b)
+            );
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! Vendored, dependency-free stand-in for `rayon` (narrow API subset).
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the slice of rayon the experiment harness needs — `into_par_iter()` /
+//! `par_iter()`, `map`, and order-preserving `collect::<Vec<_>>()` — with
+//! *real* parallelism: items are distributed over `std::thread::scope`
+//! workers pulling from a shared atomic work index. Output order always
+//! matches input order, so sequential and parallel execution produce
+//! identical results for deterministic per-item work.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Re-exports matching `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads to use for `len` items.
+fn workers_for(len: usize) -> usize {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cpus.min(len).max(1)
+}
+
+/// Applies `f` to every item in parallel, preserving input order.
+fn parallel_apply<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Hand out items through per-slot Mutex<Option<T>> cells so workers can
+    // claim arbitrary indices without unsafe code; results return the same
+    // way and are drained in input order afterwards.
+    let input: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let output: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (f, input, output, cursor) = (&f, &input, &output, &cursor);
+        for _ in 0..workers_for(n) {
+            scope.spawn(move || loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let item = input[idx]
+                    .lock()
+                    .expect("rayon shim: poisoned input slot")
+                    .take()
+                    .expect("rayon shim: item claimed twice");
+                let result = f(item);
+                *output[idx]
+                    .lock()
+                    .expect("rayon shim: poisoned output slot") = Some(result);
+            });
+        }
+    });
+    output
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("rayon shim: poisoned output slot")
+                .expect("rayon shim: missing result")
+        })
+        .collect()
+}
+
+/// A parallel iterator: a realized item vector plus a deferred pipeline.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the pipeline.
+    type Item: Send;
+
+    /// Runs the pipeline, returning items in input order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps every item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Collects the results, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Types constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    /// Builds the collection by running the pipeline.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        iter.run()
+    }
+}
+
+/// Entry point: `vec.into_par_iter()` and friends.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Entry point for by-reference iteration: `slice.par_iter()`.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+    /// Concrete iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel iterator over an owned vector.
+pub struct VecIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = VecIter<usize>;
+    fn into_par_iter(self) -> VecIter<usize> {
+        VecIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = VecIter<&'a T>;
+    fn par_iter(&'a self) -> VecIter<&'a T> {
+        VecIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = VecIter<&'a T>;
+    fn par_iter(&'a self) -> VecIter<&'a T> {
+        VecIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// The `map` adapter. The mapping function runs on worker threads.
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        parallel_apply(self.base.run(), self.f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1_000u64).collect();
+        let out: Vec<u64> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1_000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = v.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..10usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn chained_maps_compose() {
+        let out: Vec<String> = (0..5usize)
+            .into_par_iter()
+            .map(|i| i + 1)
+            .map(|i| format!("#{i}"))
+            .collect();
+        assert_eq!(out, vec!["#1", "#2", "#3", "#4", "#5"]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        // With >= 2 cores, distinct thread ids must appear for a slow map.
+        let ids: Vec<std::thread::ThreadId> = (0..32usize)
+            .into_par_iter()
+            .map(|_| {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                std::thread::current().id()
+            })
+            .collect();
+        let distinct: std::collections::HashSet<_> = ids.iter().collect();
+        let cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if cpus >= 2 {
+            assert!(distinct.len() >= 2, "expected parallel execution");
+        }
+    }
+}
