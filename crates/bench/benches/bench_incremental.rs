@@ -1,0 +1,133 @@
+//! Criterion bench for the incremental Venn scheduler: whole-simulation
+//! kernel throughput (events/sec) and trigger-path latency, incremental
+//! vs. the full-rebuild reference arm (`VennConfig::full_rebuild`).
+//!
+//! Both arms produce byte-identical assignment streams (see
+//! `tests/venn_incremental_parity.rs`), so any gap measured here is pure
+//! scheduling overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use venn_bench::{run, Experiment, SchedKind};
+use venn_core::{
+    Capacity, DeviceId, DeviceInfo, JobId, Request, ResourceSpec, Scheduler, VennConfig,
+    VennScheduler,
+};
+use venn_traces::WorkloadKind;
+
+fn arms() -> [(&'static str, SchedKind); 2] {
+    [
+        ("incremental", SchedKind::Venn),
+        (
+            "full-rebuild",
+            SchedKind::VennWith(VennConfig::full_rebuild()),
+        ),
+    ]
+}
+
+/// A Venn scheduler with supply history and `jobs` active jobs spread over
+/// `groups` distinct resource specs.
+fn loaded_scheduler(config: VennConfig, jobs: usize, groups: usize) -> VennScheduler {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut venn = VennScheduler::new(config);
+    for i in 0..4_000u64 {
+        let cap = Capacity::new(rng.gen(), rng.gen());
+        venn.on_check_in(&DeviceInfo::new(DeviceId::new(i), cap), i);
+    }
+    let specs: Vec<ResourceSpec> = (0..groups)
+        .map(|g| {
+            let t = g as f64 / groups as f64 * 0.9;
+            ResourceSpec::new(t, t * 0.8)
+        })
+        .collect();
+    for j in 0..jobs {
+        venn.submit(
+            Request::new(
+                JobId::new(j as u64),
+                specs[j % groups],
+                1 + (j % 50) as u32,
+                100 + j as u64,
+            ),
+            5_000,
+        );
+    }
+    venn
+}
+
+/// End-to-end kernel throughput: full smoke simulations per arm, reported
+/// as events dispatched per second (`elem/s`).
+fn bench_sim_events_per_sec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("venn_incremental_vs_full_sim");
+    for (label, kind) in arms() {
+        let exp = Experiment::smoke(WorkloadKind::Even, 11);
+        // One calibration run pins the deterministic event count so the
+        // timed runs can be reported as events/sec.
+        let events = run(&exp, kind).events;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &exp, |b, exp| {
+            b.iter(|| run(exp, kind));
+        });
+    }
+    group.finish();
+}
+
+/// Latency of one scheduling trigger (request completion + arrival) on a
+/// loaded scheduler — the path the per-group dirty flags shorten.
+fn bench_trigger_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("venn_trigger_latency");
+    for (label, incremental) in [("incremental", true), ("full-rebuild", false)] {
+        let config = VennConfig {
+            incremental,
+            ..VennConfig::default()
+        };
+        let mut venn = loaded_scheduler(config, 500, 20);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            let mut t = 10_000u64;
+            b.iter(|| {
+                t += 1;
+                venn.withdraw(JobId::new(3), t);
+                venn.submit(
+                    Request::new(JobId::new(3), ResourceSpec::new(0.09, 0.072), 4, 104),
+                    t,
+                );
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Latency of one device assignment on a loaded scheduler — the per-check-
+/// in path that no longer clones candidate vectors.
+fn bench_assign_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("venn_assign_latency");
+    for (label, incremental) in [("incremental", true), ("full-rebuild", false)] {
+        let config = VennConfig {
+            incremental,
+            ..VennConfig::default()
+        };
+        let mut venn = loaded_scheduler(config, 500, 20);
+        let device = DeviceInfo::new(DeviceId::new(99_999), Capacity::new(0.9, 0.9));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            let mut t = 10_000u64;
+            b.iter(|| {
+                t += 1;
+                let job = venn.assign(&device, t);
+                // Return the demand so the scheduler never drains.
+                if let Some(j) = job {
+                    venn.add_demand(j, 1, t);
+                }
+                job
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sim_events_per_sec,
+    bench_trigger_latency,
+    bench_assign_latency
+);
+criterion_main!(benches);

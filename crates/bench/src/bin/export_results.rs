@@ -4,9 +4,20 @@
 //! machine-readable benchmark baseline (avg JCT, speed-ups, events/sec)
 //! for tracking performance across PRs.
 //!
+//! Alongside the Table 1 schedulers, a `venn-full` row runs the
+//! full-rebuild reference arm (`VennConfig::full_rebuild`): identical JCT
+//! results to `venn` by construction (the incremental parity harness),
+//! differing only in `wall_ms`/`events_per_sec`. At paper scale (few
+//! groups, ~50 jobs) the two arms time nearly the same — the whole-sim
+//! throughput win over PR 1 comes from the hot-path work both arms share
+//! (allocation-free `assign`, O(regions) supply snapshots); the
+//! dirty-flag gap itself shows on loaded schedulers in the
+//! `bench_incremental` trigger-latency bench.
+//!
 //! Run: `cargo run --release -p venn-bench --bin export_results [seed] [--json PATH]`
 
 use venn_bench::{run_matrix_sequential, Experiment, Matrix, MatrixRun, SchedKind};
+use venn_core::VennConfig;
 use venn_metrics::csv::Csv;
 use venn_traces::WorkloadKind;
 
@@ -108,9 +119,11 @@ fn main() {
     }
 
     let exp = Experiment::paper_default(WorkloadKind::Even, None, seed);
+    let mut kinds = SchedKind::TABLE1.to_vec();
+    kinds.push(SchedKind::VennWith(VennConfig::full_rebuild()));
     let matrix = Matrix::new()
         .fixed("paper_default/even", exp.clone())
-        .kinds(&SchedKind::TABLE1)
+        .kinds(&kinds)
         .seeds(&[seed]);
     // Sequential on purpose: wall_ms feeds the events/sec baseline, and
     // timing runs while sibling simulations contend for cores would make

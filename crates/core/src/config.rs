@@ -44,6 +44,12 @@ pub struct VennConfig {
     pub min_profile_samples: usize,
     /// Seed for the rotating random tier pick.
     pub seed: u64,
+    /// Maintain job orders and the IRS plan incrementally (dirty-flag per
+    /// group) instead of recomputing everything at every trigger. Both
+    /// modes produce byte-identical assignment streams — `false` exists as
+    /// the reference arm of the parity harness
+    /// (`tests/venn_incremental_parity.rs`) and for overhead benchmarking.
+    pub incremental: bool,
 }
 
 impl Default for VennConfig {
@@ -58,6 +64,7 @@ impl Default for VennConfig {
             rebuild_interval_ms: 60_000,
             min_profile_samples: 10,
             seed: 0xC0FFEE,
+            incremental: true,
         }
     }
 }
@@ -83,6 +90,16 @@ impl VennConfig {
     pub fn with_fairness(epsilon: f64) -> Self {
         VennConfig {
             epsilon,
+            ..VennConfig::default()
+        }
+    }
+
+    /// Full Venn with incremental maintenance off: every trigger recomputes
+    /// all job orders and the IRS plan from scratch. The reference arm the
+    /// parity tests compare incremental scheduling against.
+    pub fn full_rebuild() -> Self {
+        VennConfig {
+            incremental: false,
             ..VennConfig::default()
         }
     }
@@ -126,6 +143,14 @@ mod tests {
         assert!(!VennConfig::matching_only().use_irs);
         assert!(VennConfig::matching_only().use_matching);
         assert_eq!(VennConfig::with_fairness(2.0).epsilon, 2.0);
+    }
+
+    #[test]
+    fn full_rebuild_arm_disables_incremental_maintenance() {
+        assert!(VennConfig::default().incremental);
+        let c = VennConfig::full_rebuild();
+        assert!(!c.incremental);
+        c.validate();
     }
 
     #[test]

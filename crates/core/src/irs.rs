@@ -86,12 +86,28 @@ pub fn allocate_with(
     regions: &[RegionSupply],
     steal: bool,
 ) -> AllocationPlan {
+    let mut plan = AllocationPlan::default();
+    allocate_into(&mut plan, groups, regions, steal);
+    plan
+}
+
+/// [`allocate_with`] writing into an existing plan — the delta-friendly
+/// entry point: callers that rebuild the plan on every request arrival and
+/// completion (the incremental [`VennScheduler`](crate::VennScheduler))
+/// reuse the plan's allocations instead of rebuilding the map each time.
+pub fn allocate_into(
+    plan: &mut AllocationPlan,
+    groups: &[GroupSummary],
+    regions: &[RegionSupply],
+    steal: bool,
+) {
     for g in groups {
         assert!(g.index < 128, "group index exceeds mask width");
     }
-    let mut plan = AllocationPlan::default();
+    plan.owner_of.clear();
+    plan.fallback_order.clear();
     if groups.is_empty() {
-        return plan;
+        return;
     }
 
     // Scarcity order: ascending |S_j|, stable on index for determinism.
@@ -102,31 +118,30 @@ pub fn allocate_with(
             .expect("non-finite supply")
             .then(a.index.cmp(&b.index))
     });
-    plan.fallback_order = asc.iter().map(|g| g.index).collect();
+    plan.fallback_order.extend(asc.iter().map(|g| g.index));
+
+    // Per-group state, indexed directly by group index (< 128).
+    let slots = groups.iter().map(|g| g.index).max().unwrap_or(0) + 1;
+    let mut owned_regions: Vec<Vec<usize>> = vec![Vec::new(); slots]; // group -> region idxs
+    let mut alloc_supply = vec![0.0f64; slots]; // allocated supply |S'_j|
+    let mut queue = vec![0.0f64; slots]; // affected queue length m'_j
+    for g in groups {
+        queue[g.index] = g.queue_len;
+    }
 
     // --- Initial allocation (Algorithm 1, lines 5-9): walk groups from the
     // scarcest and give each all still-unclaimed regions it is eligible for.
-    let mut owned_regions: HashMap<usize, Vec<usize>> = HashMap::new(); // group -> region idxs
     let mut claimed = vec![false; regions.len()];
     for g in &asc {
         let bit = 1u128 << g.index;
-        let mut mine = Vec::new();
         for (ri, region) in regions.iter().enumerate() {
             if !claimed[ri] && region.mask & bit != 0 {
                 claimed[ri] = true;
-                mine.push(ri);
+                owned_regions[g.index].push(ri);
+                alloc_supply[g.index] += region.rate;
             }
         }
-        owned_regions.insert(g.index, mine);
     }
-
-    // Allocated supply |S'_j| and affected queue length m'_j per group.
-    let supply_of = |owned: &[usize]| -> f64 { owned.iter().map(|&ri| regions[ri].rate).sum() };
-    let mut alloc_supply: HashMap<usize, f64> = owned_regions
-        .iter()
-        .map(|(&g, owned)| (g, supply_of(owned)))
-        .collect();
-    let mut queue: HashMap<usize, f64> = groups.iter().map(|g| (g.index, g.queue_len)).collect();
 
     // --- Greedy reallocation (lines 10-23): from the most abundant group,
     // steal intersected regions from scarcer groups while the queue-pressure
@@ -138,7 +153,7 @@ pub fn allocate_with(
     };
     for (pos, gj) in desc.iter().enumerate() {
         let j = gj.index;
-        if alloc_supply[&j] <= 0.0 {
+        if alloc_supply[j] <= 0.0 {
             continue; // nothing was left for this group; it cannot anchor a steal
         }
         // Victims: strictly scarcer groups whose eligible set intersects
@@ -155,35 +170,31 @@ pub fn allocate_with(
             if !intersects {
                 continue;
             }
-            let sj = alloc_supply[&j];
-            let sk = alloc_supply[&k];
+            let sj = alloc_supply[j];
+            let sk = alloc_supply[k];
             let ratio_j = if sj > 0.0 {
-                queue[&j] / sj
+                queue[j] / sj
             } else {
                 f64::INFINITY
             };
             let ratio_k = if sk > 0.0 {
-                queue[&k] / sk
+                queue[k] / sk
             } else {
                 f64::INFINITY
             };
             if ratio_j > ratio_k && ratio_k.is_finite() {
                 // Move the regions of S'_k that G_j is eligible for.
-                let victim = owned_regions.get_mut(&k).expect("victim exists");
+                let victim = std::mem::take(&mut owned_regions[k]);
                 let (moved, kept): (Vec<usize>, Vec<usize>) = victim
                     .iter()
                     .partition(|&&ri| regions[ri].mask & bit_j != 0);
-                *victim = kept;
+                owned_regions[k] = kept;
                 let moved_rate: f64 = moved.iter().map(|&ri| regions[ri].rate).sum();
-                owned_regions
-                    .get_mut(&j)
-                    .expect("thief exists")
-                    .extend(moved);
-                *alloc_supply.get_mut(&j).expect("thief supply") += moved_rate;
-                *alloc_supply.get_mut(&k).expect("victim supply") -= moved_rate;
+                owned_regions[j].extend(moved);
+                alloc_supply[j] += moved_rate;
+                alloc_supply[k] -= moved_rate;
                 // The deprioritized group's jobs now queue behind G_j's.
-                let mk = queue[&k];
-                *queue.get_mut(&j).expect("thief queue") += mk;
+                queue[j] += queue[k];
             } else {
                 // G_j should first look to groups more abundant than G_k.
                 break;
@@ -191,12 +202,11 @@ pub fn allocate_with(
         }
     }
 
-    for (g, owned) in owned_regions {
+    for (g, owned) in owned_regions.into_iter().enumerate() {
         for ri in owned {
             plan.owner_of.insert(regions[ri].mask, g);
         }
     }
-    plan
 }
 
 #[cfg(test)]
@@ -327,6 +337,24 @@ mod tests {
         assert_eq!(no_steal.owner_of[&0b11], 1);
         let with_steal = allocate_with(&groups, &regions, true);
         assert_eq!(with_steal.owner_of[&0b11], 0);
+    }
+
+    #[test]
+    fn allocate_into_reuses_plan_and_matches_allocate() {
+        let regions = [region(0b01, 0.7), region(0b11, 0.3)];
+        let groups = [group(0, 1.0, 20.0), group(1, 0.3, 1.0)];
+        let mut plan = AllocationPlan::default();
+        // Pre-populate with unrelated state that must be fully replaced.
+        allocate_into(
+            &mut plan,
+            &[group(5, 1.0, 1.0)],
+            &[region(0b100000, 1.0)],
+            true,
+        );
+        allocate_into(&mut plan, &groups, &regions, true);
+        assert_eq!(plan, allocate(&groups, &regions));
+        allocate_into(&mut plan, &[], &[], true);
+        assert_eq!(plan, AllocationPlan::default());
     }
 
     #[test]

@@ -160,8 +160,19 @@ impl TierProfiler {
     ///
     /// Returns `1.0` when the tier has no samples (no evidence of benefit).
     pub fn speedup(&self, v: usize, u: usize) -> f64 {
-        let edges = self.tier_edges(v);
         assert!(u < v, "tier index out of range");
+        self.speedup_with_edges(&self.tier_edges(v), u)
+    }
+
+    /// [`speedup`](Self::speedup) against precomputed
+    /// [`tier_edges`](Self::tier_edges) — lets one decision share a single
+    /// score sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u + 1` is not a valid edge index.
+    pub fn speedup_with_edges(&self, edges: &[f64], u: usize) -> f64 {
+        assert!(u + 1 < edges.len(), "tier index out of range");
         let overall = match Self::p95(self.responses.iter().map(|r| r.1)) {
             Some(t0) if t0 > 0.0 => t0,
             _ => return 1.0,
@@ -219,9 +230,11 @@ pub fn decide_tier(
         return None;
     }
     let c = profile.cost_ratio()?;
-    let g = profile.speedup(v, u);
+    // One edge computation (one score sort) serves both the speed-up
+    // estimate and the returned range.
+    let edges = profile.tier_edges(v);
+    let g = profile.speedup_with_edges(&edges, u);
     if (v as f64) + g * c < 1.0 + c {
-        let edges = profile.tier_edges(v);
         Some((edges[u], edges[u + 1]))
     } else {
         None

@@ -22,6 +22,46 @@ use crate::{DeviceInfo, JobId, Request, SimTime};
 ///
 /// Implementations must tolerate `withdraw`/`add_demand` for unknown jobs
 /// (the simulator may race a deadline against the last response).
+///
+/// # Examples
+///
+/// One full round, in the exact order the simulator drives the trait:
+///
+/// ```
+/// use venn_core::{
+///     Capacity, DeviceId, DeviceInfo, JobId, Request, ResourceSpec, Scheduler,
+///     VennConfig, VennScheduler,
+/// };
+///
+/// let mut sched: Box<dyn Scheduler> = Box::new(VennScheduler::new(VennConfig::default()));
+/// let job = JobId::new(1);
+///
+/// // 1. The job requests 2 devices for its round.
+/// sched.submit(Request::new(job, ResourceSpec::any(), 2, 10), 0);
+/// assert_eq!(sched.pending_demand(job), Some(2));
+///
+/// // 2. Devices check in; each check-in is a supply observation followed
+/// //    by an allocation decision that decrements pending demand.
+/// let d1 = DeviceInfo::new(DeviceId::new(7), Capacity::new(0.9, 0.9));
+/// sched.on_check_in(&d1, 1_000);
+/// assert_eq!(sched.assign(&d1, 1_000), Some(job));
+///
+/// // 3. A held device departed before computing: its demand is returned.
+/// sched.add_demand(job, 1, 2_000);
+/// assert_eq!(sched.pending_demand(job), Some(2));
+///
+/// let d2 = DeviceInfo::new(DeviceId::new(8), Capacity::new(0.4, 0.4));
+/// sched.on_check_in(&d2, 3_000);
+/// assert_eq!(sched.assign(&d2, 3_000), Some(job));
+/// assert_eq!(sched.assign(&d2, 3_000), Some(job)); // last unit
+/// assert_eq!(sched.assign(&d2, 3_000), None); // demand exhausted
+///
+/// // 4. The round runs: allocation completed, responses stream back.
+/// sched.on_alloc_complete(job, 3_000, 3_000);
+/// sched.withdraw(job, 3_000); // request leaves the queue at round start
+/// sched.on_response(job, &d1, 60_000, 63_000);
+/// assert_eq!(sched.pending_demand(job), None);
+/// ```
 pub trait Scheduler {
     /// Human-readable scheduler name used in experiment tables.
     fn name(&self) -> &str;

@@ -35,6 +35,18 @@ pub struct RegionSupply {
 
 /// Sliding-window device check-in recorder over the capacity grid.
 ///
+/// Beyond the on-demand queries ([`rate`](Self::rate) /
+/// [`region_supplies`](Self::region_supplies), which walk the grid), the
+/// estimator keeps a *mask index* over specs registered with
+/// [`register_spec`](Self::register_spec): every grid cell is mapped to a
+/// slot for its eligibility mask, and per-slot live counts are maintained
+/// incrementally on [`record`](Self::record)/expiry. Registered queries
+/// ([`registered_rates`](Self::registered_rates) /
+/// [`registered_regions`](Self::registered_regions)) then cost
+/// O(regions) instead of O(grid × specs) — the delta API the incremental
+/// Venn scheduler rebuilds its allocation plan from. Both paths count the
+/// same integer cells, so their rates are bit-identical.
+///
 /// # Examples
 ///
 /// ```
@@ -47,12 +59,28 @@ pub struct RegionSupply {
 /// let high = ResourceSpec::new(0.5, 0.5);
 /// assert!(s.rate(0, &high) > 0.0);
 /// assert!(s.rate(0, &high) < s.rate(0, &ResourceSpec::any()));
+///
+/// // The incremental mask index returns the exact same rates.
+/// let g = s.register_spec(high);
+/// let mut rates = Vec::new();
+/// s.registered_rates(0, &mut rates);
+/// assert_eq!(rates[g], s.rate(0, &high));
 /// ```
 #[derive(Debug, Clone)]
 pub struct SupplyEstimator {
     window_ms: SimTime,
     counts: Vec<u32>,
     queue: VecDeque<(SimTime, u16)>,
+    /// Specs registered for the incremental mask index; bit `j` of every
+    /// mask refers to `specs[j]`.
+    specs: Vec<ResourceSpec>,
+    /// Slot of each grid cell's eligibility mask (index into the two
+    /// parallel slot vectors below).
+    cell_slot: Vec<u32>,
+    /// Distinct cell masks, ascending — so region output needs no sort.
+    slot_masks: Vec<u128>,
+    /// Live in-window check-in count per slot.
+    slot_counts: Vec<u64>,
 }
 
 impl SupplyEstimator {
@@ -67,6 +95,10 @@ impl SupplyEstimator {
             window_ms,
             counts: vec![0; GRID * GRID],
             queue: VecDeque::new(),
+            specs: Vec::new(),
+            cell_slot: vec![0; GRID * GRID],
+            slot_masks: vec![0],
+            slot_counts: vec![0],
         }
     }
 
@@ -93,6 +125,7 @@ impl SupplyEstimator {
             }
             self.queue.pop_front();
             self.counts[cell as usize] -= 1;
+            self.slot_counts[self.cell_slot[cell as usize] as usize] -= 1;
         }
     }
 
@@ -101,7 +134,122 @@ impl SupplyEstimator {
         self.prune(now);
         let cell = Self::cell_of(capacity);
         self.counts[cell as usize] += 1;
+        self.slot_counts[self.cell_slot[cell as usize] as usize] += 1;
         self.queue.push_back((now, cell));
+    }
+
+    /// Registers a spec with the incremental mask index and returns its bit
+    /// position. Rebuilds the cell→slot mapping (one grid walk — amortized
+    /// over the lifetime of the job group, not paid per query).
+    ///
+    /// # Panics
+    ///
+    /// Panics past 128 registered specs (mask width).
+    pub fn register_spec(&mut self, spec: ResourceSpec) -> usize {
+        let j = self.specs.len();
+        assert!(j < 128, "at most 128 registered specs (mask width)");
+        self.specs.push(spec);
+        let bit = 1u128 << j;
+        // New per-cell masks: the old mask ORed with the new spec's bit.
+        let mut cell_mask = vec![0u128; GRID * GRID];
+        for cpu_cell in 0..GRID {
+            for mem_cell in 0..GRID {
+                let cell = cpu_cell * GRID + mem_cell;
+                let mut mask = self.slot_masks[self.cell_slot[cell] as usize];
+                let cap = Capacity::new(cell_low(cpu_cell), cell_low(mem_cell));
+                if spec.is_eligible(&cap) {
+                    mask |= bit;
+                }
+                cell_mask[cell] = mask;
+            }
+        }
+        let mut masks: Vec<u128> = cell_mask.clone();
+        masks.sort_unstable();
+        masks.dedup();
+        self.slot_masks = masks;
+        self.slot_counts = vec![0; self.slot_masks.len()];
+        for (cell, &mask) in cell_mask.iter().enumerate() {
+            let slot = self
+                .slot_masks
+                .binary_search(&mask)
+                .expect("mask collected above") as u32;
+            self.cell_slot[cell] = slot;
+            self.slot_counts[slot as usize] += self.counts[cell] as u64;
+        }
+        j
+    }
+
+    /// The specs registered so far, in bit order.
+    pub fn registered_specs(&self) -> &[ResourceSpec] {
+        &self.specs
+    }
+
+    /// Check-in rate of devices satisfying registered spec `j` — the same
+    /// number [`rate`](Self::rate) returns for that spec, read from the
+    /// mask index in O(regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` was never registered.
+    pub fn registered_rate(&mut self, now: SimTime, j: usize) -> f64 {
+        assert!(j < self.specs.len(), "spec {j} not registered");
+        self.prune(now);
+        let bit = 1u128 << j;
+        let count: u64 = self
+            .slot_masks
+            .iter()
+            .zip(&self.slot_counts)
+            .filter(|(&mask, _)| mask & bit != 0)
+            .map(|(_, &c)| c)
+            .sum();
+        count as f64 / self.span_ms(now)
+    }
+
+    /// Rates of all registered specs at once, written into `out` (reused
+    /// buffer, no allocation). Entry `j` equals `rate(now, &specs[j])` bit
+    /// for bit: both sum the same integer cell counts before one division
+    /// (the in-window count is far below 2^53, so the f64 partial sums
+    /// stay exact integers).
+    pub fn registered_rates(&mut self, now: SimTime, out: &mut Vec<f64>) {
+        self.prune(now);
+        let span = self.span_ms(now);
+        out.clear();
+        out.resize(self.specs.len(), 0.0);
+        for (&mask, &count) in self.slot_masks.iter().zip(&self.slot_counts) {
+            if count == 0 {
+                continue;
+            }
+            // Iterate only the set bits (ascending, like a spec loop would):
+            // popcount(mask) additions per slot, the promised O(regions).
+            let mut m = mask;
+            while m != 0 {
+                let j = m.trailing_zeros() as usize;
+                debug_assert!(j < out.len(), "mask bit without a registered spec");
+                out[j] += count as f64;
+                m &= m - 1;
+            }
+        }
+        for a in out.iter_mut() {
+            *a /= span;
+        }
+    }
+
+    /// Atomic-region supplies over the registered specs, written into
+    /// `out` (reused buffer). Identical content and order to
+    /// [`region_supplies`](Self::region_supplies) called with the
+    /// registered spec slice, at O(regions) instead of O(grid × specs).
+    pub fn registered_regions(&mut self, now: SimTime, out: &mut Vec<RegionSupply>) {
+        self.prune(now);
+        let span = self.span_ms(now);
+        out.clear();
+        for (&mask, &count) in self.slot_masks.iter().zip(&self.slot_counts) {
+            if mask != 0 && count > 0 {
+                out.push(RegionSupply {
+                    mask,
+                    rate: count as f64 / span,
+                });
+            }
+        }
     }
 
     /// Number of check-ins currently inside the window.
@@ -295,5 +443,92 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_panics() {
         SupplyEstimator::new(0);
+    }
+
+    // --- incremental mask index -------------------------------------------
+
+    fn four_region_specs() -> [ResourceSpec; 4] {
+        [
+            ResourceSpec::any(),
+            ResourceSpec::new(0.5, 0.0),
+            ResourceSpec::new(0.0, 0.5),
+            ResourceSpec::new(0.5, 0.5),
+        ]
+    }
+
+    #[test]
+    fn registered_rates_match_grid_rates_bit_for_bit() {
+        let mut s = SupplyEstimator::new(10_000);
+        let specs = four_region_specs();
+        for (j, spec) in specs.iter().enumerate() {
+            assert_eq!(s.register_spec(*spec), j);
+        }
+        for i in 0..200u64 {
+            let v = (i % 17) as f64 / 17.0;
+            let w = (i % 11) as f64 / 11.0;
+            s.record(i * 7, &Capacity::new(v, w));
+        }
+        let mut rates = Vec::new();
+        s.registered_rates(1_500, &mut rates);
+        for (j, spec) in specs.iter().enumerate() {
+            assert_eq!(rates[j], s.rate(1_500, spec), "spec {j}");
+            assert_eq!(s.registered_rate(1_500, j), rates[j], "spec {j}");
+        }
+    }
+
+    #[test]
+    fn registered_regions_match_grid_regions() {
+        let mut s = SupplyEstimator::new(10_000);
+        let specs = four_region_specs();
+        for spec in &specs {
+            s.register_spec(*spec);
+        }
+        s.record(0, &Capacity::new(0.1, 0.1));
+        s.record(0, &Capacity::new(0.9, 0.1));
+        s.record(0, &Capacity::new(0.1, 0.9));
+        s.record(0, &Capacity::new(0.9, 0.9));
+        let mut fast = Vec::new();
+        s.registered_regions(100, &mut fast);
+        let slow = s.region_supplies(100, &specs);
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn registration_after_records_rebuilds_counts() {
+        let mut s = SupplyEstimator::new(10_000);
+        // Check-ins land before any spec exists...
+        s.record(0, &Capacity::new(0.9, 0.9));
+        s.record(0, &Capacity::new(0.2, 0.2));
+        // ...and are still counted once the index is built.
+        let g = s.register_spec(ResourceSpec::new(0.5, 0.5));
+        assert_eq!(
+            s.registered_rate(100, g),
+            s.rate(100, &ResourceSpec::new(0.5, 0.5))
+        );
+        // Late registration of a second spec keeps both consistent.
+        let any = s.register_spec(ResourceSpec::any());
+        assert_eq!(
+            s.registered_rate(100, any),
+            s.rate(100, &ResourceSpec::any())
+        );
+    }
+
+    #[test]
+    fn registered_index_expires_old_events() {
+        let mut s = SupplyEstimator::new(1_000);
+        let g = s.register_spec(ResourceSpec::any());
+        s.record(0, &Capacity::new(0.5, 0.5));
+        assert!(s.registered_rate(500, g) > 0.0);
+        assert_eq!(s.registered_rate(2_000, g), 0.0);
+        let mut regions = Vec::new();
+        s.registered_regions(2_000, &mut regions);
+        assert!(regions.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_rate_panics() {
+        let mut s = SupplyEstimator::new(1_000);
+        s.registered_rate(0, 0);
     }
 }

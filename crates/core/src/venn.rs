@@ -1,4 +1,27 @@
 //! The Venn scheduler: IRS job ordering + tier-based device matching.
+//!
+//! ## Incremental maintenance
+//!
+//! The scheduler's hot path is [`assign`](Scheduler::assign) — it runs on
+//! every device check-in, millions of times per simulated day — while its
+//! *inputs* (the per-group job order and the IRS allocation plan) only
+//! change on request arrival/completion and on supply drift. The
+//! implementation therefore maintains that state by deltas:
+//!
+//! * **Dirty-flag per job group** — each group's serving order is re-sorted
+//!   only when a member's sort key actually changed (membership, remaining
+//!   demand crossing the current request's pending count, fairness usage),
+//!   not on every trigger.
+//! * **Persistent candidate index** — `assign` walks the group orders and
+//!   FIFO order in place; no per-check-in clones or allocations.
+//! * **O(regions) supply snapshots** — the IRS plan is refreshed from
+//!   [`SupplyEstimator`]'s incremental mask index instead of a full
+//!   capacity-grid walk.
+//!
+//! The triggers are unchanged from the paper (request arrival, request
+//! completion, and a periodic refresh for supply drift), so incremental and
+//! full-rebuild modes ([`VennConfig::incremental`]) produce byte-identical
+//! assignment streams — pinned by `tests/venn_incremental_parity.rs`.
 
 use std::collections::HashMap;
 
@@ -8,6 +31,7 @@ use rand::{Rng, SeedableRng};
 use crate::fairness::{fair_target_ms, FairnessKnob};
 use crate::irs::{self, AllocationPlan, GroupSummary};
 use crate::matching::{decide_tier, TierProfiler, TierRange};
+use crate::supply::RegionSupply;
 use crate::{
     DeviceInfo, JobId, Request, ResourceSpec, Scheduler, SimTime, SupplyEstimator, VennConfig,
 };
@@ -41,9 +65,15 @@ struct JobEntry {
     tier: Option<TierRange>,
 }
 
-#[derive(Debug)]
-struct GroupRecord {
-    spec: ResourceSpec,
+impl JobEntry {
+    /// The remaining-demand component of the intra-group sort key:
+    /// `max(total_remaining, pending)` (§4.2.1 — total remaining demand
+    /// when disclosed, floored by the current request). Pending only moves
+    /// the key while it exceeds the disclosed total (over-committed final
+    /// rounds), which is what lets most assignments skip re-sorting.
+    fn remaining_key(&self) -> u64 {
+        self.total_remaining.max(self.pending as u64)
+    }
 }
 
 /// The Venn collaborative-learning resource manager (paper §4).
@@ -76,17 +106,36 @@ pub struct VennScheduler {
     knob: FairnessKnob,
     supply: SupplyEstimator,
     jobs: HashMap<JobId, JobEntry>,
-    groups: Vec<GroupRecord>,
     spec_to_group: HashMap<ResourceSpec, usize>,
     plan: AllocationPlan,
+    /// Active members of each group in insertion order — the stable input
+    /// every order rebuild sorts from, identical across incremental and
+    /// full-rebuild modes.
+    members: Vec<Vec<JobId>>,
     /// Per-group job order (ascending fairness-adjusted remaining demand).
+    /// Persistent: `assign` iterates it in place, no per-check-in clone.
     group_order: Vec<Vec<JobId>>,
-    /// FIFO order over active jobs, used when `use_irs` is off.
+    /// Fairness-adjusted queue length per group, cached from the group's
+    /// last order rebuild (valid while the group is clean).
+    queue_len: Vec<f64>,
+    /// Dirty flag per group: set when a member's sort key, the membership,
+    /// or (with fairness on) its usage sums may have changed since the
+    /// group's order was last rebuilt.
+    dirty: Vec<bool>,
+    /// FIFO order over active jobs, used when `use_irs` is off. Maintained
+    /// incrementally sorted by `(submit_time, id)` — and only in that
+    /// ablation arm; the IRS arms never touch it.
     fifo_order: Vec<JobId>,
+    /// Number of jobs with an active request (the fairness `M`).
+    active_count: usize,
     last_rebuild: SimTime,
     rng: StdRng,
     name: String,
     stats: MatchingStats,
+    /// Scratch buffers reused across plan refreshes.
+    rates_scratch: Vec<f64>,
+    regions_scratch: Vec<RegionSupply>,
+    summaries_scratch: Vec<GroupSummary>,
 }
 
 /// Counters describing how often tier-based matching engaged — useful for
@@ -123,25 +172,35 @@ impl VennScheduler {
     /// Panics if the configuration is invalid (see [`VennConfig::validate`]).
     pub fn new(config: VennConfig) -> Self {
         config.validate();
-        let name = match (config.use_irs, config.use_matching) {
+        let mut name = match (config.use_irs, config.use_matching) {
             (true, true) => "venn",
             (true, false) => "venn-wo-match",
             (false, true) => "venn-wo-sched",
             (false, false) => "venn-disabled",
-        };
+        }
+        .to_string();
+        if !config.incremental {
+            name.push_str("-full");
+        }
         VennScheduler {
             knob: FairnessKnob::new(config.epsilon),
             supply: SupplyEstimator::new(config.supply_window_ms),
             jobs: HashMap::new(),
-            groups: Vec::new(),
             spec_to_group: HashMap::new(),
             plan: AllocationPlan::default(),
+            members: Vec::new(),
             group_order: Vec::new(),
+            queue_len: Vec::new(),
+            dirty: Vec::new(),
             fifo_order: Vec::new(),
+            active_count: 0,
             last_rebuild: 0,
             rng: StdRng::seed_from_u64(config.seed),
-            name: name.to_string(),
+            name,
             stats: MatchingStats::default(),
+            rates_scratch: Vec::new(),
+            regions_scratch: Vec::new(),
+            summaries_scratch: Vec::new(),
             config,
         }
     }
@@ -158,12 +217,16 @@ impl VennScheduler {
 
     /// Number of resource-homogeneous job groups seen so far.
     pub fn group_count(&self) -> usize {
-        self.groups.len()
+        self.members.len()
     }
 
     /// Number of jobs with an active request.
     pub fn active_jobs(&self) -> usize {
-        self.jobs.values().filter(|j| j.active).count()
+        debug_assert_eq!(
+            self.active_count,
+            self.jobs.values().filter(|j| j.active).count()
+        );
+        self.active_count
     }
 
     /// Estimated fair-share JCT `T_i = M · sd_i` for `job`, if known.
@@ -179,107 +242,197 @@ impl VennScheduler {
         if let Some(&g) = self.spec_to_group.get(&spec) {
             return g;
         }
-        let g = self.groups.len();
+        let g = self.members.len();
         assert!(g < 128, "at most 128 distinct resource specs supported");
-        self.groups.push(GroupRecord { spec });
+        let registered = self.supply.register_spec(spec);
+        debug_assert_eq!(registered, g, "supply bit must equal group index");
         self.spec_to_group.insert(spec, g);
+        self.members.push(Vec::new());
         self.group_order.push(Vec::new());
+        self.queue_len.push(0.0);
+        self.dirty.push(false);
         g
     }
 
-    /// Recomputes the allocation plan and job orders (Algorithm 1).
+    /// Recomputes the allocation plan and all job orders from scratch
+    /// (Algorithm 1), ignoring dirty flags — the full-rebuild reference.
     ///
-    /// Invoked on request arrival and completion — exactly the paper's
-    /// triggers — plus a periodic refresh so the plan tracks supply drift.
+    /// The scheduler normally refreshes itself on request arrival and
+    /// completion — exactly the paper's triggers — plus a periodic refresh
+    /// so the plan tracks supply drift; this entry point exists for
+    /// benchmarks and external callers that invalidated supply wholesale.
     pub fn rebuild_now(&mut self, now: SimTime) {
+        self.mark_all_dirty();
+        self.refresh(now);
+    }
+
+    /// Brings job orders (dirty groups only) and the IRS plan up to date.
+    ///
+    /// Runs at every trigger the paper names: request arrival (`submit`),
+    /// request completion (`withdraw`), and the periodic supply-drift
+    /// refresh in `assign`. In full-rebuild mode every group is dirtied
+    /// first, so both modes sort the same keys at the same trigger points
+    /// and produce identical orders and plans.
+    fn refresh(&mut self, now: SimTime) {
         self.last_rebuild = now;
-        let specs: Vec<ResourceSpec> = self.groups.iter().map(|g| g.spec).collect();
-
-        // Per-group eligible supply |S_j|.
-        let rates: Vec<f64> = specs.iter().map(|s| self.supply.rate(now, s)).collect();
-
-        // Fairness inputs and intra-group ordering.
-        let m_total = self.jobs.values().filter(|j| j.active).count().max(1);
-        let mut summaries: Vec<GroupSummary> = Vec::new();
-        for (g, order) in self.group_order.iter_mut().enumerate() {
-            order.clear();
-            let mut members: Vec<(f64, SimTime, JobId)> = Vec::new();
-            let mut sum_targets = 0.0;
-            let mut sum_usage = 0.0;
-            for (&id, entry) in self.jobs.iter() {
-                if !entry.active || entry.group != g {
-                    continue;
-                }
-                let target = fair_target_ms(m_total, entry.uncontended_jct_ms);
-                // Fairness time-usage t_i: the share of the job's
-                // uncontended JCT it has already been served
-                // (progress × sd_i). A starved job has low usage relative
-                // to its fair target and rises in priority.
-                let progress = (entry.allocs_done as f64 / entry.rounds_est).min(1.0);
-                let usage = progress * entry.uncontended_jct_ms;
-                // Remaining demand: the paper orders by the current request
-                // by default but prefers total remaining demand when jobs
-                // disclose it (§4.2.1) — ours do, via `Request`.
-                let remaining = (entry.total_remaining as f64).max(entry.pending as f64);
-                let adjusted = self.knob.adjusted_demand(remaining, usage, target);
-                sum_targets += target;
-                sum_usage += usage.max(1.0);
-                members.push((adjusted, entry.submit_time, id));
+        if !self.config.incremental {
+            self.mark_all_dirty();
+        }
+        if !self.config.use_irs {
+            // FIFO arm: group orders and the plan are never consulted.
+            if !self.config.incremental {
+                // Genuine reference for the parity harness: recompute the
+                // FIFO order from the jobs map, as a full rebuild would,
+                // instead of trusting the incremental insertions.
+                let mut fifo: Vec<(SimTime, JobId)> = self
+                    .jobs
+                    .iter()
+                    .filter(|(_, e)| e.active)
+                    .map(|(&id, e)| (e.submit_time, id))
+                    .collect();
+                fifo.sort();
+                self.fifo_order.clear();
+                self.fifo_order.extend(fifo.into_iter().map(|(_, id)| id));
             }
-            if members.is_empty() {
-                continue;
+            for d in &mut self.dirty {
+                *d = false;
             }
-            // Smallest adjusted remaining demand first (§4.2.1); ties by
-            // arrival then id for determinism.
-            members.sort_by(|a, b| {
-                a.0.partial_cmp(&b.0)
-                    .expect("non-finite adjusted demand")
-                    .then(a.1.cmp(&b.1))
-                    .then(a.2.cmp(&b.2))
-            });
-            let queue_len =
-                self.knob
-                    .adjusted_queue_len(members.len() as f64, sum_targets, sum_usage);
-            *order = members.into_iter().map(|(_, _, id)| id).collect();
-            summaries.push(GroupSummary {
-                index: g,
-                eligible_supply: rates[g],
-                queue_len,
-            });
+            return;
+        }
+        let m_total = self.active_count.max(1);
+        for g in 0..self.members.len() {
+            if std::mem::take(&mut self.dirty[g]) {
+                self.rebuild_group_order(g, m_total);
+            }
         }
 
-        // FIFO order for the no-IRS ablation arm.
-        let mut fifo: Vec<(SimTime, JobId)> = self
-            .jobs
-            .iter()
-            .filter(|(_, e)| e.active)
-            .map(|(&id, e)| (e.submit_time, id))
-            .collect();
-        fifo.sort();
-        self.fifo_order = fifo.into_iter().map(|(_, id)| id).collect();
+        // Refresh the plan against current supply: per-group rates |S_j|
+        // and atomic-region supplies from the estimator's mask index.
+        self.supply.registered_rates(now, &mut self.rates_scratch);
+        self.supply
+            .registered_regions(now, &mut self.regions_scratch);
+        self.summaries_scratch.clear();
+        for g in 0..self.members.len() {
+            if self.group_order[g].is_empty() {
+                continue;
+            }
+            self.summaries_scratch.push(GroupSummary {
+                index: g,
+                eligible_supply: self.rates_scratch[g],
+                queue_len: self.queue_len[g],
+            });
+        }
+        irs::allocate_into(
+            &mut self.plan,
+            &self.summaries_scratch,
+            &self.regions_scratch,
+            self.config.use_steal,
+        );
+    }
 
-        if self.config.use_irs {
-            let regions = self.supply.region_supplies(now, &specs);
-            self.plan = irs::allocate_with(&summaries, &regions, self.config.use_steal);
+    /// Re-sorts one group's serving order and recomputes its queue length.
+    fn rebuild_group_order(&mut self, g: usize, m_total: usize) {
+        let mut scored: Vec<(f64, SimTime, JobId)> = Vec::with_capacity(self.members[g].len());
+        let mut sum_targets = 0.0;
+        let mut sum_usage = 0.0;
+        for &id in &self.members[g] {
+            let entry = &self.jobs[&id];
+            debug_assert!(entry.active && entry.group == g);
+            let target = fair_target_ms(m_total, entry.uncontended_jct_ms);
+            // Fairness time-usage t_i: the share of the job's
+            // uncontended JCT it has already been served
+            // (progress × sd_i). A starved job has low usage relative
+            // to its fair target and rises in priority.
+            let progress = (entry.allocs_done as f64 / entry.rounds_est).min(1.0);
+            let usage = progress * entry.uncontended_jct_ms;
+            // Remaining demand: the paper orders by the current request
+            // by default but prefers total remaining demand when jobs
+            // disclose it (§4.2.1) — ours do, via `Request`.
+            let adjusted = self
+                .knob
+                .adjusted_demand(entry.remaining_key() as f64, usage, target);
+            sum_targets += target;
+            sum_usage += usage.max(1.0);
+            scored.push((adjusted, entry.submit_time, id));
+        }
+        // Smallest adjusted remaining demand first (§4.2.1); ties by
+        // arrival then id for determinism.
+        scored.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("non-finite adjusted demand")
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+        self.queue_len[g] =
+            self.knob
+                .adjusted_queue_len(scored.len() as f64, sum_targets, sum_usage);
+        self.group_order[g].clear();
+        self.group_order[g].extend(scored.into_iter().map(|(_, _, id)| id));
+    }
+
+    /// Marks every group dirty — used when a change affects all sort keys
+    /// (the fairness knob couples them through `M` and the usage sums).
+    fn mark_all_dirty(&mut self) {
+        for d in &mut self.dirty {
+            *d = true;
         }
     }
 
-    fn try_assign_job(jobs: &mut HashMap<JobId, JobEntry>, id: JobId, device: &DeviceInfo) -> bool {
-        let Some(entry) = jobs.get_mut(&id) else {
-            return false;
-        };
+    fn fifo_remove(&mut self, job: JobId) {
+        if let Some(pos) = self.fifo_order.iter().position(|&id| id == job) {
+            self.fifo_order.remove(pos);
+        }
+    }
+
+    /// Inserts `job` at its sorted `(submit_time, id)` position. Callers
+    /// must have updated the job's entry (and removed any stale position)
+    /// first.
+    fn fifo_insert(&mut self, job: JobId, submit_time: SimTime) {
+        let jobs = &self.jobs;
+        let pos = self.fifo_order.partition_point(|&id| {
+            let e = &jobs[&id];
+            (e.submit_time, id) < (submit_time, job)
+        });
+        self.fifo_order.insert(pos, job);
+    }
+
+    /// Offers `device` to `g`'s members in serving order. On success the
+    /// group is re-flagged dirty only if the winner's sort key moved
+    /// (pending dropped below the disclosed total remaining).
+    fn assign_from_group(&mut self, g: usize, device: &DeviceInfo) -> Option<JobId> {
+        for i in 0..self.group_order[g].len() {
+            let id = self.group_order[g][i];
+            if let Some(key_changed) = Self::try_assign_job(&mut self.jobs, id, device) {
+                if key_changed {
+                    self.dirty[g] = true;
+                }
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Attempts the assignment; `Some(key_changed)` on success, where
+    /// `key_changed` reports whether the job's intra-group sort key moved.
+    fn try_assign_job(
+        jobs: &mut HashMap<JobId, JobEntry>,
+        id: JobId,
+        device: &DeviceInfo,
+    ) -> Option<bool> {
+        let entry = jobs.get_mut(&id)?;
         if !entry.active || entry.pending == 0 {
-            return false;
+            return None;
         }
         if let Some((lo, hi)) = entry.tier {
             let s = device.score();
             if s < lo || s >= hi {
-                return false;
+                return None;
             }
         }
+        let key_before = entry.remaining_key();
         entry.pending -= 1;
         entry.profiler.record_participant(device.score());
-        true
+        Some(entry.remaining_key() != key_before)
     }
 }
 
@@ -290,7 +443,7 @@ impl Scheduler for VennScheduler {
 
     fn submit(&mut self, request: Request, now: SimTime) {
         let group = self.group_index(request.spec);
-        let rate = self.supply.rate(now, &request.spec).max(MIN_RATE);
+        let rate = self.supply.registered_rate(now, group).max(MIN_RATE);
         let rounds_est = (request.total_remaining as f64 / request.demand as f64).max(1.0);
         let uncontended = rounds_est * (request.demand as f64 / rate + DEFAULT_RESPONSE_EST_MS);
 
@@ -316,6 +469,8 @@ impl Scheduler for VennScheduler {
             profiler: TierProfiler::new(),
             tier: None,
         });
+        let was_active = entry.active;
+        let old_group = entry.group;
         entry.group = group;
         entry.pending = request.demand;
         entry.demand = request.demand;
@@ -338,24 +493,64 @@ impl Scheduler for VennScheduler {
             None
         };
 
-        self.rebuild_now(now);
+        // Delta maintenance: membership, dirty flags, FIFO position.
+        if !was_active {
+            self.active_count += 1;
+            self.members[group].push(request.job);
+        } else if old_group != group {
+            self.members[old_group].retain(|&id| id != request.job);
+            self.members[group].push(request.job);
+            self.dirty[old_group] = true;
+        }
+        self.dirty[group] = true;
+        if self.knob.is_enabled() {
+            // M and the usage sums feed every group's keys and queue length.
+            self.mark_all_dirty();
+        }
+        if !self.config.use_irs && self.config.incremental {
+            // Only the FIFO ablation arm ever reads `fifo_order`; the
+            // full-rebuild reference recomputes it in `refresh` instead.
+            self.fifo_remove(request.job);
+            self.fifo_insert(request.job, now);
+        }
+
+        self.refresh(now);
     }
 
     fn withdraw(&mut self, job: JobId, now: SimTime) {
+        let mut deactivated_group = None;
         if let Some(entry) = self.jobs.get_mut(&job) {
             if entry.active {
                 entry.active = false;
                 entry.pending = 0;
                 entry.tier = None;
+                deactivated_group = Some(entry.group);
             }
         }
-        self.rebuild_now(now);
+        if let Some(g) = deactivated_group {
+            self.active_count -= 1;
+            self.members[g].retain(|&id| id != job);
+            self.dirty[g] = true;
+            if self.knob.is_enabled() {
+                self.mark_all_dirty();
+            }
+            if !self.config.use_irs && self.config.incremental {
+                self.fifo_remove(job);
+            }
+        }
+        // Unconditional, matching the paper's completion trigger: even a
+        // no-op withdrawal refreshes the plan against current supply.
+        self.refresh(now);
     }
 
     fn add_demand(&mut self, job: JobId, count: u32, _now: SimTime) {
         if let Some(entry) = self.jobs.get_mut(&job) {
             if entry.active {
+                let key_before = entry.remaining_key();
                 entry.pending = entry.pending.saturating_add(count);
+                if entry.remaining_key() != key_before {
+                    self.dirty[entry.group] = true;
+                }
             }
         }
     }
@@ -366,38 +561,43 @@ impl Scheduler for VennScheduler {
 
     fn assign(&mut self, device: &DeviceInfo, now: SimTime) -> Option<JobId> {
         if now.saturating_sub(self.last_rebuild) > self.config.rebuild_interval_ms {
-            self.rebuild_now(now);
+            self.refresh(now);
         }
         if self.config.use_irs {
-            let specs: Vec<ResourceSpec> = self.groups.iter().map(|g| g.spec).collect();
-            let mask = SupplyEstimator::mask_of(device.capacity(), &specs);
+            let mask = SupplyEstimator::mask_of(device.capacity(), self.supply.registered_specs());
             if mask == 0 {
                 return None;
             }
-            let order: Vec<usize> = self.plan.offer_order(mask).collect();
-            for g in order {
-                // `offer_order` may name a group whose bit is unset when the
-                // plan is stale; re-check eligibility.
-                if mask & (1u128 << g) == 0 {
-                    continue;
-                }
-                let candidates = self.group_order[g].clone();
-                for id in candidates {
-                    if Self::try_assign_job(&mut self.jobs, id, device) {
+            // Owner first, then remaining eligible groups scarcest-first —
+            // `offer_order`, walked in place. The owner's bit is re-checked:
+            // a stale plan may name a group the device is ineligible for.
+            let owner = self.plan.owner_of.get(&mask).copied();
+            if let Some(g) = owner {
+                if mask & (1u128 << g) != 0 {
+                    if let Some(id) = self.assign_from_group(g, device) {
                         return Some(id);
                     }
                 }
             }
+            for i in 0..self.plan.fallback_order.len() {
+                let g = self.plan.fallback_order[i];
+                if Some(g) == owner || mask & (1u128 << g) == 0 {
+                    continue;
+                }
+                if let Some(id) = self.assign_from_group(g, device) {
+                    return Some(id);
+                }
+            }
             None
         } else {
-            let order = self.fifo_order.clone();
-            for id in order {
+            for i in 0..self.fifo_order.len() {
+                let id = self.fifo_order[i];
                 let eligible = self
                     .jobs
                     .get(&id)
-                    .map(|e| self.groups[e.group].spec.is_eligible(device.capacity()))
+                    .map(|e| self.supply.registered_specs()[e.group].is_eligible(device.capacity()))
                     .unwrap_or(false);
-                if eligible && Self::try_assign_job(&mut self.jobs, id, device) {
+                if eligible && Self::try_assign_job(&mut self.jobs, id, device).is_some() {
                     return Some(id);
                 }
             }
@@ -415,6 +615,11 @@ impl Scheduler for VennScheduler {
         if let Some(entry) = self.jobs.get_mut(&job) {
             entry.profiler.record_sched_delay(delay_ms);
             entry.allocs_done += 1;
+            if self.knob.is_enabled() {
+                // Progress moves the job's fairness usage, which shifts its
+                // adjusted demand and the group's queue length.
+                self.dirty[entry.group] = true;
+            }
         }
     }
 
@@ -576,6 +781,118 @@ mod tests {
             VennScheduler::new(VennConfig::matching_only()).name(),
             "venn-wo-sched"
         );
+    }
+
+    #[test]
+    fn full_rebuild_mode_gets_name_suffix() {
+        assert_eq!(
+            VennScheduler::new(VennConfig::full_rebuild()).name(),
+            "venn-full"
+        );
+    }
+
+    #[test]
+    fn fifo_order_repositions_on_resubmission() {
+        let mut s = VennScheduler::new(VennConfig::matching_only());
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 3, 3), 0);
+        s.submit(Request::new(JobId::new(2), ResourceSpec::any(), 3, 3), 5);
+        s.withdraw(JobId::new(1), 10);
+        s.submit(Request::new(JobId::new(1), ResourceSpec::any(), 3, 3), 10);
+        // Job 1 re-arrived after job 2: FIFO now serves job 2 first.
+        assert_eq!(s.assign(&dev(1, 0.5, 0.5), 11), Some(JobId::new(2)));
+    }
+
+    /// Drives identical churn (submissions, check-ins, assignments, demand
+    /// returns, completions, withdrawals, timer refreshes) through an
+    /// incremental and a full-rebuild scheduler and asserts every single
+    /// assignment decision matches.
+    fn assert_churn_parity(base: VennConfig) {
+        let mut inc = VennScheduler::new(VennConfig {
+            incremental: true,
+            ..base
+        });
+        let mut full = VennScheduler::new(VennConfig {
+            incremental: false,
+            ..base
+        });
+        let spec_of = |j: u64| match j % 3 {
+            0 => ResourceSpec::any(),
+            1 => ResourceSpec::new(0.5, 0.5),
+            _ => ResourceSpec::new(0.5, 0.0),
+        };
+        let mut t = 0u64;
+        for round in 0..4u64 {
+            feed_supply(&mut inc, t);
+            feed_supply(&mut full, t);
+            for j in 0..8u64 {
+                let make = || Request::new(JobId::new(j), spec_of(j), 2 + (j % 3) as u32, 4 + j);
+                inc.submit(make(), t);
+                full.submit(make(), t);
+            }
+            for i in 0..150u64 {
+                // 7-second steps cross the 60 s periodic-refresh interval
+                // many times per round.
+                t += 7_000;
+                let cpu = ((i * 13) % 10) as f64 / 10.0;
+                let mem = ((i * 7) % 10) as f64 / 10.0;
+                let d = dev(10_000 + i, cpu, mem);
+                inc.on_check_in(&d, t);
+                full.on_check_in(&d, t);
+                let a = inc.assign(&d, t);
+                let b = full.assign(&d, t);
+                assert_eq!(a, b, "round {round} step {i} diverged");
+                if let Some(job) = a {
+                    if i % 3 == 0 {
+                        inc.add_demand(job, 1, t);
+                        full.add_demand(job, 1, t);
+                    }
+                    if i % 5 == 0 {
+                        inc.on_response(job, &d, 1_000 + i, t);
+                        full.on_response(job, &d, 1_000 + i, t);
+                    }
+                    if i % 11 == 0 {
+                        inc.on_alloc_complete(job, i, t);
+                        full.on_alloc_complete(job, i, t);
+                    }
+                }
+            }
+            for j in 0..8u64 {
+                if j % 2 == round % 2 {
+                    inc.withdraw(JobId::new(j), t);
+                    full.withdraw(JobId::new(j), t);
+                }
+            }
+        }
+        assert_eq!(inc.active_jobs(), full.active_jobs());
+        assert_eq!(inc.matching_stats(), full.matching_stats());
+    }
+
+    #[test]
+    fn incremental_matches_full_rebuild_default() {
+        assert_churn_parity(VennConfig::default());
+    }
+
+    #[test]
+    fn incremental_matches_full_rebuild_with_fairness() {
+        assert_churn_parity(VennConfig::with_fairness(2.0));
+    }
+
+    #[test]
+    fn incremental_matches_full_rebuild_fifo_arm() {
+        assert_churn_parity(VennConfig::matching_only());
+    }
+
+    #[test]
+    fn incremental_matches_full_rebuild_irs_only_arm() {
+        assert_churn_parity(VennConfig::scheduling_only());
+    }
+
+    #[test]
+    fn incremental_matches_full_rebuild_without_steal() {
+        assert_churn_parity(VennConfig {
+            use_steal: false,
+            ..VennConfig::default()
+        });
     }
 
     #[test]

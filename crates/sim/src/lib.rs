@@ -42,7 +42,7 @@ pub use config::SimConfig;
 pub use device_pool::{DevicePool, DeviceState};
 pub use engine::Simulation;
 pub use job_table::{JobPhase, JobRuntime, JobTable};
-pub use observer::{CompletionLog, EventTrace, RoundRecorder, SimObserver};
+pub use observer::{AssignmentLog, CompletionLog, EventTrace, RoundRecorder, SimObserver};
 pub use result::{RoundLog, SimResult};
 pub use world::World;
 

@@ -97,6 +97,25 @@ impl SimObserver for RoundRecorder {
     }
 }
 
+/// Records every assignment the scheduler makes, in decision order.
+///
+/// The assignment stream is the scheduler's complete observable output:
+/// two schedulers that produce equal streams on the same environment are
+/// behaviorally identical. The incremental-vs-full-rebuild parity harness
+/// (`tests/venn_incremental_parity.rs`) compares these streams byte for
+/// byte.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct AssignmentLog {
+    /// `(now, job_idx, device)` per assignment, in decision order.
+    pub assignments: Vec<(SimTime, usize, usize)>,
+}
+
+impl SimObserver for AssignmentLog {
+    fn on_assignment(&mut self, now: SimTime, job_idx: usize, device: usize) {
+        self.assignments.push((now, job_idx, device));
+    }
+}
+
 /// Records job completion order and abort counts — a cheap progress view
 /// for long sweeps.
 #[derive(Debug, Default)]
@@ -145,6 +164,15 @@ mod tests {
         };
         r.on_round_complete(20, &log);
         assert_eq!(r.rounds, vec![log]);
+    }
+
+    #[test]
+    fn assignment_log_preserves_decision_order() {
+        let mut log = AssignmentLog::default();
+        log.on_assignment(10, 2, 7);
+        log.on_assignment(10, 2, 8);
+        log.on_assignment(15, 0, 7);
+        assert_eq!(log.assignments, vec![(10, 2, 7), (10, 2, 8), (15, 0, 7)]);
     }
 
     #[test]

@@ -233,6 +233,16 @@ impl<'w> World<'w> {
 
     /// `CheckIn`: an online, idle device polls the resource manager and is
     /// assigned (or repolls later).
+    ///
+    /// This is the scheduler's hot path and the anchor of the
+    /// [`Scheduler`] trait's call-ordering contract: every check-in is one
+    /// `on_check_in` (supply observation) immediately followed by one
+    /// `assign` (allocation decision) at the same timestamp — schedulers
+    /// may therefore maintain supply state incrementally per check-in and
+    /// defer plan recomputation to their own triggers. The other
+    /// callbacks (`add_demand` on hold expiry, `on_alloc_complete` +
+    /// `withdraw` at round start, `on_response` per response) fire from
+    /// their respective event handlers below.
     fn handle_check_in(
         &mut self,
         device: usize,

@@ -1,4 +1,37 @@
-//! Facade crate re-exporting the whole Venn workspace.
+//! Facade crate re-exporting the whole Venn workspace under one name.
+//!
+//! The reproduction is split into eight focused crates (see
+//! `ARCHITECTURE.md` at the repository root for the full map):
+//!
+//! * [`core`] — the `Scheduler` trait, the incremental `VennScheduler`,
+//!   IRS (Algorithm 1), tier matching (Algorithm 2), supply estimation,
+//!   and the fairness knob;
+//! * [`sim`] — the deterministic event-driven `World` simulator with
+//!   pluggable `SimObserver`s;
+//! * [`traces`] — synthetic availability / capacity / workload models
+//!   calibrated to the paper's figures;
+//! * [`baselines`] — the Random / FIFO / SRSF reference schedulers;
+//! * [`metrics`] — streaming statistics, JCT accounting, tables, CSV;
+//! * [`fl`] — a minimal FedAvg stack for the accuracy experiments;
+//! * [`opt`] — an exact solver validating IRS on small instances;
+//! * [`mod@bench`] — the experiment harness and sweep executor behind
+//!   every paper figure/table binary.
+//!
+//! Root integration tests (and any downstream user who wants a single
+//! dependency) import everything through this crate:
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use venn::baselines::BaselineScheduler;
+//! use venn::sim::{SimConfig, Simulation};
+//! use venn::traces::Workload;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let workload = Workload::default_scenario(3, &mut rng);
+//! let mut sched = BaselineScheduler::fifo();
+//! let result = Simulation::new(SimConfig::small()).run(&workload, &mut sched);
+//! assert_eq!(result.records.len(), 3);
+//! ```
 pub use venn_baselines as baselines;
 pub use venn_bench as bench;
 pub use venn_core as core;
