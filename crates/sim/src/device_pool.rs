@@ -15,6 +15,9 @@ pub struct DeviceState {
     pub busy: bool,
     /// Day index of the device's last computation (one-task-per-day cap).
     pub last_task_day: Option<u64>,
+    /// While held by a job: the device's slot in that job's hold list,
+    /// making hold release O(1). Meaningless when not held.
+    pub held_slot: usize,
 }
 
 /// All devices of one simulated world, indexed by population index.
@@ -41,6 +44,7 @@ impl DevicePool {
                     session_end: 0,
                     busy: false,
                     last_task_day: None,
+                    held_slot: 0,
                 })
                 .collect(),
         }
@@ -94,6 +98,20 @@ impl DevicePool {
     /// Marks the device held/computing.
     pub fn mark_busy(&mut self, device: usize) {
         self.devices[device].busy = true;
+    }
+
+    /// Marks the device held by a job, remembering its slot in the job's
+    /// hold list so a later release is O(1).
+    pub fn mark_held(&mut self, device: usize, held_slot: usize) {
+        let d = &mut self.devices[device];
+        d.busy = true;
+        d.held_slot = held_slot;
+    }
+
+    /// The device's slot in the holding job's hold list (set by
+    /// [`mark_held`](Self::mark_held)).
+    pub fn held_slot(&self, device: usize) -> usize {
+        self.devices[device].held_slot
     }
 
     /// Returns the device to the idle pool (response, failure, or hold

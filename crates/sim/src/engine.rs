@@ -323,6 +323,29 @@ mod tests {
         );
     }
 
+    #[test]
+    fn hold_expiries_release_devices_without_perturbing_determinism() {
+        // Tight population + multi-day horizon: sessions end while devices
+        // are held, exercising the O(1) tombstone release path.
+        let w = tiny_workload(2, 30, 3);
+        let config = SimConfig {
+            population: 120,
+            days: 3,
+            ..SimConfig::small()
+        };
+        let mut sched = venn_baselines::BaselineScheduler::fifo();
+        let mut trace = EventTrace::default();
+        let r = Simulation::new(config).run_observed(&w, &mut sched, &mut [&mut trace]);
+        assert!(
+            trace.hold_expires > 0,
+            "scenario must exercise hold expiry: {trace:?}"
+        );
+        let mut sched2 = venn_baselines::BaselineScheduler::fifo();
+        let r2 = Simulation::new(config).run(&w, &mut sched2);
+        assert_eq!(r.records, r2.records);
+        assert_eq!(r.assignments, r2.assignments);
+    }
+
     // --- observer behavior -------------------------------------------------
 
     #[test]

@@ -18,6 +18,11 @@ pub enum JobPhase {
     Finished,
 }
 
+/// Tombstone marking a released slot in [`JobRuntime::held`]. Releases
+/// must not shift later entries (the hold order drives the response-noise
+/// draw order at round start), so freed slots are blanked in place.
+pub const HELD_TOMBSTONE: usize = usize::MAX;
+
 /// Mutable state of one job across its rounds.
 #[derive(Debug)]
 pub struct JobRuntime {
@@ -38,7 +43,11 @@ pub struct JobRuntime {
     pub assigned: u32,
     /// Responses received this round.
     pub responses: u32,
-    /// Devices currently held (population indices).
+    /// Devices currently held (population indices), in assignment order.
+    /// Released slots are blanked to [`HELD_TOMBSTONE`] rather than
+    /// removed, so a release is O(1) *and* the order of the surviving
+    /// holds — which fixes the RNG draw order at round start — is exactly
+    /// what an order-preserving `retain` would leave.
     pub held: Vec<usize>,
     /// Devices that responded this round.
     pub participants: Vec<usize>,
@@ -61,6 +70,27 @@ impl JobRuntime {
     /// round incarnation.
     pub fn epoch_is(&self, epoch: u32) -> bool {
         self.epoch == epoch
+    }
+
+    /// Records `device` as held and returns its slot in the hold list —
+    /// the position index [`release_held`](Self::release_held) frees in
+    /// O(1).
+    pub fn hold(&mut self, device: usize) -> usize {
+        debug_assert_ne!(device, HELD_TOMBSTONE);
+        self.held.push(device);
+        self.held.len() - 1
+    }
+
+    /// Releases the hold at `slot` in O(1) without shifting later holds
+    /// (a tombstone takes its place until the round ends).
+    pub fn release_held(&mut self, slot: usize, device: usize) {
+        debug_assert_eq!(self.held[slot], device, "hold index out of sync");
+        self.held[slot] = HELD_TOMBSTONE;
+    }
+
+    /// The devices still held, in assignment order (tombstones skipped).
+    pub fn held_devices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.held.iter().copied().filter(|&d| d != HELD_TOMBSTONE)
     }
 }
 
@@ -176,6 +206,39 @@ mod tests {
         t.get_mut(1).epoch += 1;
         assert!(!t.get(1).epoch_is(0));
         assert!(t.get(1).epoch_is(1));
+    }
+
+    #[test]
+    fn hold_release_preserves_surviving_order() {
+        let mut t = table();
+        let j = t.get_mut(0);
+        let slots: Vec<usize> = [10, 11, 12, 13, 14].iter().map(|&d| j.hold(d)).collect();
+        assert_eq!(slots, vec![0, 1, 2, 3, 4]);
+        // Release from the middle and the front: the survivors must keep
+        // their assignment order (what an order-preserving retain leaves),
+        // because round start draws response noise in hold order.
+        j.release_held(1, 11);
+        j.release_held(3, 13);
+        j.release_held(0, 10);
+        assert_eq!(j.held_devices().collect::<Vec<_>>(), vec![12, 14]);
+        // Later holds append after the tombstones, keeping order.
+        let s = j.hold(15);
+        assert_eq!(s, 5);
+        assert_eq!(j.held_devices().collect::<Vec<_>>(), vec![12, 14, 15]);
+        // A new request clears tombstones with the rest of the list.
+        j.begin_request(1_000);
+        assert!(j.held.is_empty());
+        assert_eq!(j.hold(20), 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "hold index out of sync")]
+    fn mismatched_release_is_caught() {
+        let mut t = table();
+        let j = t.get_mut(0);
+        j.hold(10);
+        j.release_held(0, 99);
     }
 
     #[test]

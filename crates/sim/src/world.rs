@@ -275,8 +275,8 @@ impl<'w> World<'w> {
                     self.assign_async(job, job_idx, device, now, scheduler, observers);
                     return;
                 }
-                self.jobs.get_mut(job_idx).held.push(device);
-                self.devices.mark_busy(device);
+                let slot = self.jobs.get_mut(job_idx).hold(device);
+                self.devices.mark_held(device, slot);
                 self.queue.push(
                     self.devices.session_end(device),
                     EventKind::HoldExpire {
@@ -367,8 +367,15 @@ impl<'w> World<'w> {
         scheduler.withdraw(job, now);
         let epoch = j.epoch;
         let round = j.rounds_done;
-        let held = j.held.clone();
-        for device in held {
+        // Walk the hold list in assignment order (the RNG draw order) by
+        // index — no clone; re-borrowing per hold keeps the loop body free
+        // to mutate devices and the queue. Tombstones are expired holds.
+        let held_len = j.held.len();
+        for i in 0..held_len {
+            let device = self.jobs.get(job_idx).held[i];
+            if device == crate::job_table::HELD_TOMBSTONE {
+                continue;
+            }
             self.devices.note_task(device, now);
             let d = self.devices.get(device);
             let response_ms =
@@ -409,11 +416,14 @@ impl<'w> World<'w> {
         now: SimTime,
         scheduler: &mut dyn Scheduler,
     ) {
+        let slot = self.devices.held_slot(device);
         let j = self.jobs.get_mut(job.as_u64() as usize);
         if j.phase == JobPhase::Allocating && j.epoch_is(epoch) {
-            // Device departed while held: release and re-demand.
+            // Device departed while held: release and re-demand. O(1) via
+            // the held-slot index; the tombstone keeps later holds (and
+            // thus the round-start RNG draw order) in place.
             j.assigned = j.assigned.saturating_sub(1);
-            j.held.retain(|&d| d != device);
+            j.release_held(slot, device);
             self.devices.release(device);
             scheduler.add_demand(job, 1, now);
         }
