@@ -3,6 +3,8 @@
 use venn_core::{CategoryThresholds, SimTime, MINUTE_MS};
 use venn_traces::{AvailabilityModel, CapacityModel};
 
+use crate::event::QueueKind;
+
 /// All knobs of one simulation run.
 ///
 /// Defaults reproduce the paper's setup at a laptop-tractable scale (see
@@ -57,6 +59,10 @@ pub struct SimConfig {
     /// Record per-round participant logs (needed by the FL experiments;
     /// costs memory on big runs).
     pub record_rounds: bool,
+    /// Event-queue implementation. The timing wheel (default) and the
+    /// binary-heap reference arm pop byte-identical event sequences; the
+    /// heap arm exists for equivalence testing and benchmarking.
+    pub queue: QueueKind,
 }
 
 impl Default for SimConfig {
@@ -87,6 +93,7 @@ impl Default for SimConfig {
             overcommit: 0.0,
             async_mode: false,
             record_rounds: false,
+            queue: QueueKind::Wheel,
         }
     }
 }

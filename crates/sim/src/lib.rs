@@ -41,6 +41,7 @@ pub mod world;
 pub use config::SimConfig;
 pub use device_pool::{DevicePool, DeviceState};
 pub use engine::Simulation;
+pub use event::{Event, EventKind, EventQueue, QueueKind};
 pub use job_table::{JobPhase, JobRuntime, JobTable};
 pub use observer::{AssignmentLog, CompletionLog, EventTrace, RoundRecorder, SimObserver};
 pub use result::{RoundLog, SimResult};

@@ -63,7 +63,7 @@ impl<'w> World<'w> {
             .generate(config.population, config.days, &mut rng);
         let noise = LogNormal::from_mean_cv(1.0, config.response_noise_cv.max(1e-6));
 
-        let mut queue = EventQueue::new();
+        let mut queue = EventQueue::with_kind(config.queue);
         for s in &sessions {
             if s.start < horizon {
                 queue.push(
