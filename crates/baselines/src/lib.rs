@@ -174,6 +174,16 @@ impl Scheduler for BaselineScheduler {
     fn pending_demand(&self, job: JobId) -> Option<u32> {
         self.entries.get(&job).map(|e| e.pending)
     }
+
+    fn has_open_demand(&self) -> bool {
+        !self.entries.is_empty()
+    }
+
+    fn observes_check_ins(&self) -> bool {
+        // Baselines ignore check-in observations (`on_check_in` keeps its
+        // default no-op body), so gated check-ins need no replay.
+        false
+    }
 }
 
 #[cfg(test)]

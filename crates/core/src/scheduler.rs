@@ -97,6 +97,31 @@ pub trait Scheduler {
     /// Remaining unassigned demand of the job's current request, or `None`
     /// if the job has no active request.
     fn pending_demand(&self, job: JobId) -> Option<u32>;
+
+    /// Whether any job currently has an active (non-withdrawn) request —
+    /// the *demand-open signal* behind the simulator's check-in gating.
+    ///
+    /// While this returns `false`, [`assign`](Scheduler::assign) is
+    /// guaranteed to return `None` for every device, and that can only
+    /// change at the next [`submit`](Scheduler::submit) — so the simulator
+    /// may park idle pollers instead of re-polling them, and wake them
+    /// when a request arrives. The default (`true`, "demand may be open")
+    /// conservatively disables that optimization for implementations that
+    /// do not override this.
+    fn has_open_demand(&self) -> bool {
+        true
+    }
+
+    /// Whether [`on_check_in`](Scheduler::on_check_in) observations feed
+    /// scheduler state (supply estimation).
+    ///
+    /// When `false` (schedulers that leave `on_check_in` as the default
+    /// no-op), the simulator's demand gating skips replaying suppressed
+    /// check-ins entirely. The default (`true`) is the safe choice for
+    /// implementations that override `on_check_in`.
+    fn observes_check_ins(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

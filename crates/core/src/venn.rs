@@ -626,6 +626,16 @@ impl Scheduler for VennScheduler {
     fn pending_demand(&self, job: JobId) -> Option<u32> {
         self.jobs.get(&job).filter(|e| e.active).map(|e| e.pending)
     }
+
+    fn has_open_demand(&self) -> bool {
+        self.active_count > 0
+    }
+
+    fn observes_check_ins(&self) -> bool {
+        // Check-ins feed the supply estimator; gated check-ins must be
+        // replayed or the IRS plan's rates (and thus assignments) drift.
+        true
+    }
 }
 
 #[cfg(test)]

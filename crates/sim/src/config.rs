@@ -63,6 +63,13 @@ pub struct SimConfig {
     /// binary-heap reference arm pop byte-identical event sequences; the
     /// heap arm exists for equivalence testing and benchmarking.
     pub queue: QueueKind,
+    /// Demand-gated check-ins (default on): while no job has an open
+    /// request, idle devices are parked instead of re-polling every
+    /// [`repoll_ms`](SimConfig::repoll_ms), and woken on the next request
+    /// at exactly the poll-grid instants they would have used — dispatched
+    /// events shrink, while schedules, RNG draws, and results stay
+    /// byte-identical to the un-gated run (`false` is that reference arm).
+    pub demand_gating: bool,
 }
 
 impl Default for SimConfig {
@@ -94,6 +101,7 @@ impl Default for SimConfig {
             async_mode: false,
             record_rounds: false,
             queue: QueueKind::Wheel,
+            demand_gating: true,
         }
     }
 }

@@ -30,12 +30,20 @@ pub struct DeviceState {
 #[derive(Debug)]
 pub struct DevicePool {
     devices: Vec<DeviceState>,
+    /// Scheduler-facing views, built once — check-ins are the kernel's
+    /// hottest path and must not reconstruct a `DeviceInfo` per poll.
+    infos: Vec<DeviceInfo>,
 }
 
 impl DevicePool {
     /// Builds the pool from sampled capacity profiles; all devices start
     /// offline and idle.
     pub fn new(profiles: Vec<DeviceProfile>) -> Self {
+        let infos = profiles
+            .iter()
+            .enumerate()
+            .map(|(i, p)| DeviceInfo::new(DeviceId::new(i as u64), p.capacity))
+            .collect();
         DevicePool {
             devices: profiles
                 .into_iter()
@@ -47,6 +55,7 @@ impl DevicePool {
                     held_slot: 0,
                 })
                 .collect(),
+            infos,
         }
     }
 
@@ -65,12 +74,10 @@ impl DevicePool {
         &self.devices[device]
     }
 
-    /// The scheduler-facing identity/capacity view of a device.
-    pub fn info(&self, device: usize) -> DeviceInfo {
-        DeviceInfo::new(
-            DeviceId::new(device as u64),
-            self.devices[device].profile.capacity,
-        )
+    /// The scheduler-facing identity/capacity view of a device (cached at
+    /// construction — no per-check-in rebuild).
+    pub fn info(&self, device: usize) -> &DeviceInfo {
+        &self.infos[device]
     }
 
     /// An availability session begins (or overlaps): the session end only

@@ -324,6 +324,49 @@ mod tests {
     }
 
     #[test]
+    fn demand_gating_prunes_idle_repolls_without_changing_outcomes() {
+        // Few small jobs on a large population: most polls land while no
+        // request is open, so gating must prune events massively — while
+        // every scheduler-visible outcome stays bit-identical.
+        let w = tiny_workload(3, 5, 2);
+        let gated = run_fifo(&w, SimConfig::small());
+        let ungated = run_fifo(
+            &w,
+            SimConfig {
+                demand_gating: false,
+                ..SimConfig::small()
+            },
+        );
+        assert_eq!(gated.records, ungated.records, "JCT stats must not move");
+        assert_eq!(gated.assignments, ungated.assignments);
+        assert_eq!(gated.aborted_rounds, ungated.aborted_rounds);
+        assert_eq!(gated.failures, ungated.failures);
+        assert!(
+            gated.events * 2 < ungated.events,
+            "gating must prune the repoll flood: {} vs {}",
+            gated.events,
+            ungated.events
+        );
+    }
+
+    #[test]
+    fn queue_arms_dispatch_identical_event_streams() {
+        let w = tiny_workload(4, 8, 3);
+        let wheel = run_fifo(&w, SimConfig::small());
+        let heap = run_fifo(
+            &w,
+            SimConfig {
+                queue: crate::QueueKind::Heap,
+                ..SimConfig::small()
+            },
+        );
+        assert_eq!(wheel.records, heap.records);
+        assert_eq!(wheel.assignments, heap.assignments);
+        assert_eq!(wheel.events, heap.events);
+        assert_eq!(wheel.aborted_rounds, heap.aborted_rounds);
+    }
+
+    #[test]
     fn hold_expiries_release_devices_without_perturbing_determinism() {
         // Tight population + multi-day horizon: sessions end while devices
         // are held, exercising the O(1) tombstone release path.

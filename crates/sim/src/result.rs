@@ -37,6 +37,13 @@ pub struct SimResult {
     /// Total events the kernel dispatched — the numerator of the
     /// events-per-second throughput metric.
     pub events: u64,
+    /// High-water mark of the pending-event queue — queue-pressure
+    /// telemetry for the benchmark baseline. At paper scale it is set by
+    /// the initialization burst (every future availability session is
+    /// enqueued up front), which is exactly the far-future load the
+    /// timing wheel keeps out of the hot tiers. The wheel/heap arms agree
+    /// on it bit for bit.
+    pub peak_queue_len: u64,
 }
 
 impl SimResult {

@@ -16,6 +16,8 @@
 //! `(config, workload, scheduler)` inputs produce byte-identical
 //! [`SimResult`]s, with or without observers attached.
 
+use std::collections::VecDeque;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -30,6 +32,28 @@ use crate::job_table::{JobPhase, JobTable};
 use crate::observer::SimObserver;
 use crate::result::{RoundLog, SimResult};
 
+/// A check-in suppressed by demand gating: the poll this device *would*
+/// have performed had it stayed in the event queue.
+///
+/// While no job has an open request, every poll provably assigns nothing,
+/// so the device parks here instead of re-enqueueing a `CheckIn` event.
+/// The entry keeps the would-be poll's exact `(time, seq)` identity — the
+/// seq is reserved from the queue's counter at the same instant the
+/// un-gated run would have consumed it — so a later wake-up re-enters the
+/// event stream at precisely its original position, and same-millisecond
+/// tie-breaks are unchanged. Parked polls that elapse before demand opens
+/// are *advanced* instead: their supply observation (`on_check_in`) is
+/// replayed in exact stream order, and the next grid poll is parked.
+#[derive(Debug, Clone, Copy)]
+struct ParkedPoll {
+    /// When the suppressed check-in would have fired.
+    time: SimTime,
+    /// The insertion seq it would have carried (reserved, never reused).
+    seq: u64,
+    /// The polling device.
+    device: usize,
+}
+
 /// One simulated world: all mutable state of a run plus its immutable
 /// environment (config and workload).
 #[derive(Debug)]
@@ -42,6 +66,12 @@ pub struct World<'w> {
     pub jobs: JobTable,
     /// Pending events.
     pub queue: EventQueue,
+    /// Check-ins suppressed by demand gating, ascending by `(time, seq)`.
+    ///
+    /// The ordering is maintained with plain `push_back`s: every entry is
+    /// created `repoll_ms` after a stream position that is itself
+    /// non-decreasing, so a new entry's key always trails the back's.
+    parked: VecDeque<ParkedPoll>,
     rng: StdRng,
     noise: LogNormal,
     result: SimResult,
@@ -85,6 +115,7 @@ impl<'w> World<'w> {
             devices: DevicePool::new(profiles),
             jobs: JobTable::new(workload, config.thresholds),
             queue,
+            parked: VecDeque::new(),
             rng,
             noise,
             result: SimResult {
@@ -122,6 +153,9 @@ impl<'w> World<'w> {
         let Some(event) = self.queue.pop() else {
             return false;
         };
+        if !self.parked.is_empty() {
+            self.advance_parked(event.time, event.seq, scheduler);
+        }
         if event.time > self.horizon {
             return false;
         }
@@ -148,10 +182,56 @@ impl<'w> World<'w> {
     pub fn finish(self, observers: &mut [&mut dyn SimObserver]) -> SimResult {
         let mut result = self.result;
         result.records = self.jobs.into_records();
+        result.peak_queue_len = self.queue.peak_len() as u64;
         for o in observers.iter_mut() {
             o.on_run_end(&result);
         }
         result
+    }
+
+    /// Elapses every parked poll that precedes the event about to be
+    /// dispatched, in exact `(time, seq)` stream order.
+    ///
+    /// Each elapsed poll is what the un-gated run would have dispatched as
+    /// a `CheckIn` returning `None`: its only scheduler-visible effect is
+    /// the `on_check_in` supply observation, which is replayed here (for
+    /// schedulers that observe check-ins) at the original timestamp; the
+    /// `assign` call is skipped because with no open demand it provably
+    /// returns `None` without touching scheduler state the next request
+    /// trigger would not rebuild anyway. The continuation poll reserves
+    /// the seq the un-gated run would have allocated at this very stream
+    /// position, keeping all later tie-breaks aligned.
+    fn advance_parked(&mut self, time: SimTime, seq: u64, scheduler: &mut dyn Scheduler) {
+        let observes = scheduler.observes_check_ins();
+        while let Some(front) = self.parked.front() {
+            if (front.time, front.seq) >= (time, seq) || front.time > self.horizon {
+                break;
+            }
+            let p = *front;
+            self.parked.pop_front();
+            if observes {
+                scheduler.on_check_in(self.devices.info(p.device), p.time);
+            }
+            let next = p.time + self.config.repoll_ms;
+            if next < self.devices.session_end(p.device) {
+                let seq = self.queue.reserve_seq();
+                self.parked.push_back(ParkedPoll {
+                    time: next,
+                    seq,
+                    device: p.device,
+                });
+            }
+        }
+    }
+
+    /// Demand just opened: every parked poll re-enters the event queue at
+    /// its reserved `(time, seq)` position — the next instant of the
+    /// device's own `repoll_ms` grid, with its original tie-break rank.
+    fn wake_parked(&mut self) {
+        while let Some(p) = self.parked.pop_front() {
+            self.queue
+                .push_reserved(p.time, p.seq, EventKind::CheckIn { device: p.device });
+        }
     }
 
     /// Routes one event to its handler method.
@@ -211,6 +291,10 @@ impl<'w> World<'w> {
             ),
             now,
         );
+        // Demand just opened: parked devices resume polling.
+        if !self.parked.is_empty() {
+            self.wake_parked();
+        }
         // Async rounds carry no deadline: like buffered-asynchronous FL,
         // the aggregation fires whenever the quorum of updates arrives, so
         // participants computed for a round are never wasted. (Sync rounds
@@ -257,8 +341,8 @@ impl<'w> World<'w> {
             return;
         }
         let info = self.devices.info(device);
-        scheduler.on_check_in(&info, now);
-        match scheduler.assign(&info, now) {
+        scheduler.on_check_in(info, now);
+        match scheduler.assign(info, now) {
             Some(job) => {
                 let job_idx = job.as_u64() as usize;
                 assert!(job_idx < self.jobs.len(), "scheduler assigned unknown job");
@@ -291,10 +375,23 @@ impl<'w> World<'w> {
                 }
             }
             None => {
-                // Stay online and poll again later.
+                // Stay online and poll again later. While no job has an
+                // open request the next poll cannot assign either, so the
+                // gated kernel parks the device instead of dispatching the
+                // repoll flood — reserving the poll's seq so a wake-up
+                // re-enters the stream at the exact un-gated position.
                 let next = now + self.config.repoll_ms;
                 if next < self.devices.session_end(device) {
-                    self.queue.push(next, EventKind::CheckIn { device });
+                    if self.config.demand_gating && !scheduler.has_open_demand() {
+                        let seq = self.queue.reserve_seq();
+                        self.parked.push_back(ParkedPoll {
+                            time: next,
+                            seq,
+                            device,
+                        });
+                    } else {
+                        self.queue.push(next, EventKind::CheckIn { device });
+                    }
                 }
             }
         }
@@ -457,8 +554,7 @@ impl<'w> World<'w> {
         j.responses += 1;
         j.participants.push(device);
         let responses = j.responses;
-        let dev_info = self.devices.info(device);
-        scheduler.on_response(job, &dev_info, response_ms, now);
+        scheduler.on_response(job, self.devices.info(device), response_ms, now);
         let demand = self.workload.jobs[job_idx].demand;
         if responses >= self.config.quorum_target(demand) {
             self.complete_round(job_idx, now, scheduler, observers);
@@ -547,12 +643,15 @@ impl<'w> World<'w> {
         j.record.sched_delay_ms += j.round_start - j.request_start;
         j.record.response_ms += now - j.round_start;
         j.record.rounds_completed += 1;
+        // When a log is wanted it *takes* the participant list (the next
+        // request clears it anyway) — no per-round clone; and when neither
+        // the config nor any observer wants it, nothing is built at all.
         let log = (record_rounds || !observers.is_empty()).then(|| RoundLog {
             job_idx,
             round: j.rounds_done,
             start_ms: j.request_start,
             end_ms: now,
-            participants: j.participants.clone(),
+            participants: std::mem::take(&mut j.participants),
         });
         j.rounds_done += 1;
         j.epoch += 1;
@@ -566,11 +665,14 @@ impl<'w> World<'w> {
                 .push(now + agg_delay, EventKind::RoundStart { job_idx });
         }
         if let Some(log) = log {
-            if record_rounds {
-                self.result.rounds.push(log.clone());
-            }
             for o in observers.iter_mut() {
                 o.on_round_complete(now, &log);
+            }
+            if record_rounds {
+                // Observers first, then move (not clone) the log into the
+                // result — hook order within the moment is unchanged
+                // because observers cannot see `result.rounds` mid-run.
+                self.result.rounds.push(log);
             }
         }
         if finished {

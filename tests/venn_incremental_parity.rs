@@ -12,7 +12,7 @@ use rand::SeedableRng;
 
 use venn::bench::{Experiment, SchedKind};
 use venn::core::{Scheduler, VennConfig, MINUTE_MS};
-use venn::sim::{AssignmentLog, SimConfig, SimResult, Simulation};
+use venn::sim::{AssignmentLog, QueueKind, SimConfig, SimResult, Simulation};
 use venn::traces::{JobDemandModel, Workload, WorkloadKind};
 
 const SEEDS: [u64; 3] = [101, 102, 103];
@@ -127,6 +127,60 @@ fn incremental_equals_full_rebuild_for_every_sched_kind() {
                 "{kind:?} seed {seed}"
             );
             assert_eq!(r_inc.events, r_full.events, "{kind:?} seed {seed}");
+        }
+    }
+}
+
+/// Demand gating and the timing-wheel queue are kernel *cost*
+/// optimizations: for every `SchedKind` and seed, the gated/wheel default
+/// must produce the exact assignment stream and JCT stats of the
+/// un-gated and heap-queue reference arms. Only the dispatched event
+/// count may shrink — and only via gating.
+#[test]
+fn gating_and_queue_arms_are_behavior_identical_for_every_sched_kind() {
+    for &seed in &SEEDS {
+        let exp = experiment(seed);
+        for kind in every_sched_kind() {
+            let run_arm = |sim: SimConfig| {
+                let arm = Experiment {
+                    sim,
+                    workload: exp.workload.clone(),
+                };
+                let mut sched = kind.build(exp.sim.seed ^ 0xA5A5);
+                run_logged(&arm, &mut *sched)
+            };
+            let (r_def, log_def) = run_arm(exp.sim);
+            let (r_ungated, log_ungated) = run_arm(SimConfig {
+                demand_gating: false,
+                ..exp.sim
+            });
+            let (r_heap, log_heap) = run_arm(SimConfig {
+                queue: QueueKind::Heap,
+                ..exp.sim
+            });
+            for (label, r, log) in [
+                ("gating-off", &r_ungated, &log_ungated),
+                ("heap-queue", &r_heap, &log_heap),
+            ] {
+                assert_eq!(
+                    log_def.assignments, log.assignments,
+                    "{kind:?} seed {seed} vs {label}: assignment streams diverged"
+                );
+                assert_eq!(
+                    r_def.records, r.records,
+                    "{kind:?} seed {seed} vs {label}: JCT stats diverged"
+                );
+                assert_eq!(r_def.aborted_rounds, r.aborted_rounds, "{kind:?} {label}");
+                assert_eq!(r_def.assignments, r.assignments, "{kind:?} {label}");
+                assert_eq!(r_def.failures, r.failures, "{kind:?} {label}");
+            }
+            // Both default-config arms dispatch the same events; gating is
+            // the only thing allowed to shrink the count.
+            assert_eq!(r_def.events, r_heap.events, "{kind:?} seed {seed}");
+            assert!(
+                r_def.events <= r_ungated.events,
+                "{kind:?} seed {seed}: gating may only remove events"
+            );
         }
     }
 }
