@@ -1,102 +1,33 @@
 //! Dumps per-job completion records of one experiment as CSV for external
 //! plotting — every scheduler on the same workload, one file per scheduler
-//! on stdout separated by headers. With `--json PATH`, also writes a
-//! machine-readable benchmark baseline (avg JCT, speed-ups, events/sec)
-//! for tracking performance across PRs.
+//! on stdout separated by headers. With `--json PATH`, also writes the
+//! machine-readable benchmark baseline (avg JCT, speed-ups, events/sec,
+//! queue pressure) that `check_regression` gates CI against.
 //!
 //! Alongside the Table 1 schedulers, a `venn-full` row runs the
 //! full-rebuild reference arm (`VennConfig::full_rebuild`): identical JCT
 //! results to `venn` by construction (the incremental parity harness),
-//! differing only in `wall_ms`/`events_per_sec`. At paper scale (few
-//! groups, ~50 jobs) the two arms time nearly the same — the whole-sim
-//! throughput win over PR 1 comes from the hot-path work both arms share
-//! (allocation-free `assign`, O(regions) supply snapshots); the
-//! dirty-flag gap itself shows on loaded schedulers in the
-//! `bench_incremental` trigger-latency bench.
+//! differing only in `wall_ms`/`events_per_sec`.
 //!
-//! Run: `cargo run --release -p venn-bench --bin export_results [seed] [--json PATH]`
+//! The kernel's two perf arms are selectable for A/B verification:
+//! `--queue heap` runs the binary-heap reference queue instead of the
+//! timing wheel, and `--no-gating` disables demand-gated check-ins. Both
+//! reference arms must reproduce the default arm's JCT stats bit for bit;
+//! only `events` may differ, and only via gating.
+//!
+//! Run: `cargo run --release -p venn-bench --bin export_results [seed]
+//!       [--json PATH] [--queue wheel|heap] [--no-gating]`
 
-use venn_bench::{run_matrix_sequential, Experiment, Matrix, MatrixRun, SchedKind};
-use venn_core::VennConfig;
+use venn_bench::{baseline_json, run_baseline};
 use venn_metrics::csv::Csv;
-use venn_traces::WorkloadKind;
-
-fn json_baseline(experiment: &Experiment, runs: &[MatrixRun], seed: u64) -> String {
-    let base_jct = runs
-        .iter()
-        .find(|r| r.cell.kind == SchedKind::Random)
-        .expect("TABLE1 includes Random")
-        .result
-        .avg_jct_ms();
-    let mut out = String::from("{\n");
-    out.push_str("  \"experiment\": \"paper_default/even\",\n");
-    out.push_str(&format!("  \"seed\": {seed},\n"));
-    out.push_str(&format!(
-        "  \"jobs\": {},\n",
-        experiment.workload.jobs.len()
-    ));
-    out.push_str(&format!(
-        "  \"population\": {},\n",
-        experiment.sim.population
-    ));
-    out.push_str(&format!("  \"days\": {},\n", experiment.sim.days));
-    out.push_str("  \"schedulers\": [\n");
-    // Non-finite values (no finished jobs, sub-ms runs) must serialize as
-    // JSON `null`, never `NaN`/`inf`.
-    let json_num = |v: f64, decimals: usize| -> String {
-        if v.is_finite() {
-            format!("{v:.decimals$}")
-        } else {
-            "null".to_string()
-        }
-    };
-    for (i, r) in runs.iter().enumerate() {
-        let jct = r.result.avg_jct_ms();
-        let speedup = if jct > 0.0 { base_jct / jct } else { f64::NAN };
-        // Clamp to >= 1 ms so the rate stays finite.
-        let events_per_sec = r.result.events as f64 * 1_000.0 / r.wall_ms.max(1) as f64;
-        out.push_str("    {\n");
-        out.push_str(&format!(
-            "      \"name\": \"{}\",\n",
-            r.result.scheduler_name
-        ));
-        out.push_str(&format!("      \"avg_jct_ms\": {},\n", json_num(jct, 1)));
-        out.push_str(&format!(
-            "      \"completion_rate\": {:.4},\n",
-            r.result.completion_rate()
-        ));
-        out.push_str(&format!(
-            "      \"speedup_vs_random\": {},\n",
-            json_num(speedup, 4)
-        ));
-        out.push_str(&format!(
-            "      \"aborted_rounds\": {},\n",
-            r.result.aborted_rounds
-        ));
-        out.push_str(&format!(
-            "      \"assignments\": {},\n",
-            r.result.assignments
-        ));
-        out.push_str(&format!("      \"events\": {},\n", r.result.events));
-        out.push_str(&format!("      \"wall_ms\": {},\n", r.wall_ms));
-        out.push_str(&format!(
-            "      \"events_per_sec\": {}\n",
-            json_num(events_per_sec, 0)
-        ));
-        out.push_str(if i + 1 < runs.len() {
-            "    },\n"
-        } else {
-            "    }\n"
-        });
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
+use venn_sim::QueueKind;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed: u64 = 42;
     let mut json_path: Option<String> = None;
+    let mut queue = QueueKind::Wheel;
+    let mut demand_gating = true;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--json" {
@@ -107,6 +38,17 @@ fn main() {
                     std::process::exit(1);
                 }
             }
+        } else if arg == "--queue" {
+            queue = match it.next().map(String::as_str) {
+                Some("wheel") => QueueKind::Wheel,
+                Some("heap") => QueueKind::Heap,
+                other => {
+                    eprintln!("error: --queue needs wheel|heap, got {other:?}");
+                    std::process::exit(1);
+                }
+            };
+        } else if arg == "--no-gating" {
+            demand_gating = false;
         } else {
             match arg.parse() {
                 Ok(s) => seed = s,
@@ -118,17 +60,10 @@ fn main() {
         }
     }
 
-    let exp = Experiment::paper_default(WorkloadKind::Even, None, seed);
-    let mut kinds = SchedKind::TABLE1.to_vec();
-    kinds.push(SchedKind::VennWith(VennConfig::full_rebuild()));
-    let matrix = Matrix::new()
-        .fixed("paper_default/even", exp.clone())
-        .kinds(&kinds)
-        .seeds(&[seed]);
     // Sequential on purpose: wall_ms feeds the events/sec baseline, and
     // timing runs while sibling simulations contend for cores would make
     // the recorded numbers machine-load-dependent.
-    let runs = run_matrix_sequential(&matrix);
+    let (exp, runs) = run_baseline(seed, queue, demand_gating);
 
     for r in &runs {
         let mut csv = Csv::new(&[
@@ -163,7 +98,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = json_baseline(&exp, &runs, seed);
+        let json = baseline_json(&exp, &runs, seed);
         std::fs::write(&path, json).expect("write json baseline");
         eprintln!("wrote baseline to {path}");
     }

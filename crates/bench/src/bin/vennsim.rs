@@ -11,6 +11,7 @@
 //!           [--workload {even|small|large|low|high}]
 //!           [--bias {general|compute|memory|resource}]
 //!           [--epsilon F] [--tiers N] [--async] [--overcommit F]
+//!           [--queue wheel|heap] [--no-gating]
 //!           [--load FILE.tsv] [--save FILE.tsv] [--csv]
 //! ```
 //!
@@ -24,7 +25,7 @@ use rand::SeedableRng;
 use venn_baselines::BaselineScheduler;
 use venn_core::{Scheduler, VennConfig, VennScheduler, MINUTE_MS};
 use venn_metrics::csv::Csv;
-use venn_sim::{SimConfig, Simulation};
+use venn_sim::{QueueKind, SimConfig, Simulation};
 use venn_traces::{io as wio, BiasKind, JobDemandModel, Workload, WorkloadKind};
 
 #[derive(Debug)]
@@ -40,6 +41,8 @@ struct Args {
     tiers: usize,
     async_mode: bool,
     overcommit: f64,
+    queue: QueueKind,
+    demand_gating: bool,
     load: Option<String>,
     save: Option<String>,
     csv: bool,
@@ -59,6 +62,8 @@ impl Default for Args {
             tiers: 3,
             async_mode: false,
             overcommit: 0.0,
+            queue: QueueKind::Wheel,
+            demand_gating: true,
             load: None,
             save: None,
             csv: false,
@@ -123,6 +128,14 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--tiers: {e}"))?
             }
             "--async" => args.async_mode = true,
+            "--queue" => {
+                args.queue = match value("--queue")?.as_str() {
+                    "wheel" => QueueKind::Wheel,
+                    "heap" => QueueKind::Heap,
+                    other => return Err(format!("unknown queue {other:?}")),
+                }
+            }
+            "--no-gating" => args.demand_gating = false,
             "--overcommit" => {
                 args.overcommit = value("--overcommit")?
                     .parse()
@@ -185,6 +198,8 @@ fn run(args: &Args) -> Result<(), String> {
         seed: args.seed,
         async_mode: args.async_mode,
         overcommit: args.overcommit,
+        queue: args.queue,
+        demand_gating: args.demand_gating,
         ..SimConfig::default()
     };
     let mut scheduler = build_scheduler(args)?;
@@ -244,7 +259,8 @@ fn main() -> ExitCode {
                 "usage: vennsim [--scheduler venn|random|fifo|srsf] [--jobs N] \
                  [--population N] [--days N] [--seed N] [--workload even|small|large|low|high] \
                  [--bias general|compute|memory|resource] [--epsilon F] [--tiers N] \
-                 [--async] [--overcommit F] [--load FILE.tsv] [--save FILE.tsv] [--csv]"
+                 [--async] [--overcommit F] [--queue wheel|heap] [--no-gating] \
+                 [--load FILE.tsv] [--save FILE.tsv] [--csv]"
             );
             if e == "help" {
                 ExitCode::SUCCESS

@@ -12,8 +12,13 @@
 //!   (scenario × seed × scheduler) grid once and fan the independent
 //!   deterministic runs out across cores.
 
+pub mod baseline;
 pub mod matrix;
 
+pub use baseline::{
+    baseline_json, baseline_kinds, baseline_rows, diff_rows, parse_baseline, run_baseline,
+    BaselineRow,
+};
 pub use matrix::{
     run_matrix, run_matrix_sequential, speedup_summary, with_baseline, Matrix, MatrixCell,
     MatrixRun, ScenarioSpeedups,
