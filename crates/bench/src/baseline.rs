@@ -14,6 +14,7 @@
 //! timing telemetry and exempt.
 
 use venn_core::VennConfig;
+use venn_env::EnvPreset;
 use venn_sim::QueueKind;
 use venn_traces::WorkloadKind;
 
@@ -29,15 +30,17 @@ pub fn baseline_kinds() -> Vec<SchedKind> {
 
 /// Executes the baseline matrix (sequentially — wall times feed the
 /// events/sec telemetry and must not contend for cores) on the chosen
-/// kernel arms.
+/// kernel and environment arms.
 pub fn run_baseline(
     seed: u64,
     queue: QueueKind,
     demand_gating: bool,
+    env: EnvPreset,
 ) -> (Experiment, Vec<MatrixRun>) {
     let mut exp = Experiment::paper_default(WorkloadKind::Even, None, seed);
     exp.sim.queue = queue;
     exp.sim.demand_gating = demand_gating;
+    exp.sim.env = env.config();
     let matrix = Matrix::new()
         .fixed("paper_default/even", exp.clone())
         .kinds(&baseline_kinds())
@@ -102,9 +105,18 @@ pub fn baseline_rows(runs: &[MatrixRun]) -> Vec<BaselineRow> {
         .collect()
 }
 
-/// Renders the full baseline JSON document (rows plus the per-run wall
-/// clock telemetry).
-pub fn baseline_json(experiment: &Experiment, runs: &[MatrixRun], seed: u64) -> String {
+/// Renders the full baseline JSON document: the arm configuration header
+/// (queue, gating, environment — so baseline files are self-describing),
+/// the deterministic rows, and — unless `timing` is off — the per-run
+/// wall-clock telemetry. Environment arms additionally carry their
+/// deterministic `venn-env` counters per scheduler.
+pub fn baseline_json(
+    experiment: &Experiment,
+    runs: &[MatrixRun],
+    seed: u64,
+    env: EnvPreset,
+    timing: bool,
+) -> String {
     let rows = baseline_rows(runs);
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"paper_default/even\",\n");
@@ -118,6 +130,18 @@ pub fn baseline_json(experiment: &Experiment, runs: &[MatrixRun], seed: u64) -> 
         experiment.sim.population
     ));
     out.push_str(&format!("  \"days\": {},\n", experiment.sim.days));
+    out.push_str(&format!(
+        "  \"queue\": \"{}\",\n",
+        match experiment.sim.queue {
+            QueueKind::Wheel => "wheel",
+            QueueKind::Heap => "heap",
+        }
+    ));
+    out.push_str(&format!(
+        "  \"demand_gating\": {},\n",
+        experiment.sim.demand_gating
+    ));
+    out.push_str(&format!("  \"env\": \"{}\",\n", env.label()));
     out.push_str("  \"schedulers\": [\n");
     for (i, (row, r)) in rows.iter().zip(runs).enumerate() {
         // Clamp to >= 1 ms so the rate stays finite.
@@ -139,15 +163,25 @@ pub fn baseline_json(experiment: &Experiment, runs: &[MatrixRun], seed: u64) -> 
         ));
         out.push_str(&format!("      \"assignments\": {},\n", row.assignments));
         out.push_str(&format!("      \"events\": {},\n", row.events));
-        out.push_str(&format!(
-            "      \"peak_queue_len\": {},\n",
-            row.peak_queue_len
-        ));
-        out.push_str(&format!("      \"wall_ms\": {},\n", r.wall_ms));
-        out.push_str(&format!(
-            "      \"events_per_sec\": {}\n",
-            json_num(events_per_sec, 0)
-        ));
+        out.push_str(&format!("      \"peak_queue_len\": {}", row.peak_queue_len));
+        if env != EnvPreset::Off {
+            let e = &r.result.env;
+            out.push_str(&format!(",\n      \"dropouts\": {}", e.dropouts));
+            out.push_str(&format!(
+                ",\n      \"forced_offline\": {}",
+                e.forced_offline
+            ));
+            out.push_str(&format!(",\n      \"storm_aborts\": {}", e.storm_aborts));
+            out.push_str(&format!(",\n      \"retries\": {}", e.retries));
+        }
+        if timing {
+            out.push_str(&format!(",\n      \"wall_ms\": {}", r.wall_ms));
+            out.push_str(&format!(
+                ",\n      \"events_per_sec\": {}",
+                json_num(events_per_sec, 0)
+            ));
+        }
+        out.push('\n');
         out.push_str(if i + 1 < rows.len() {
             "    },\n"
         } else {
@@ -158,11 +192,42 @@ pub fn baseline_json(experiment: &Experiment, runs: &[MatrixRun], seed: u64) -> 
     out
 }
 
+/// Parses the arm-configuration header of a baseline document — which
+/// queue/gating/environment arms the recording ran on — so a replay can
+/// reproduce the recorded arms instead of assuming the defaults. Files
+/// from before the header existed (or with unknown values) fall back to
+/// the default arm (wheel, gating on, env off).
+pub fn parse_arm_header(json: &str) -> (QueueKind, bool, EnvPreset) {
+    let mut queue = QueueKind::Wheel;
+    let mut demand_gating = true;
+    let mut env = EnvPreset::Off;
+    for line in json.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if line == "\"schedulers\": [" {
+            break; // header ends where the rows begin
+        }
+        let Some((key, value)) = line.split_once(':') else {
+            continue;
+        };
+        let value = value.trim().trim_matches('"');
+        match key.trim().trim_matches('"') {
+            "queue" if value == "heap" => queue = QueueKind::Heap,
+            "demand_gating" if value == "false" => demand_gating = false,
+            "env" => env = EnvPreset::parse(value).unwrap_or(EnvPreset::Off),
+            _ => {}
+        }
+    }
+    (queue, demand_gating, env)
+}
+
 /// Parses a committed baseline file back into `(seed, rows)`.
 ///
 /// This is a shape-specific reader for the document [`baseline_json`]
 /// emits (one `"key": value` pair per line), not a general JSON parser —
-/// the build environment is dependency-free by design.
+/// the build environment is dependency-free by design. Unknown metadata
+/// keys — the arm header (`queue`/`demand_gating`/`env`), per-row
+/// `venn-env` counters, timing telemetry, anything added later — are
+/// ignored rather than rejected, so baselines stay forward-readable.
 pub fn parse_baseline(json: &str) -> Result<(u64, Vec<BaselineRow>), String> {
     let mut seed: Option<u64> = None;
     let mut rows = Vec::new();
@@ -274,6 +339,9 @@ mod tests {
   "experiment": "paper_default/even",
   "seed": 7,
   "jobs": 50,
+  "queue": "wheel",
+  "demand_gating": true,
+  "env": "off",
   "schedulers": [
     {
       "name": "random",
@@ -325,6 +393,53 @@ mod tests {
     }
 
     #[test]
+    fn arm_header_round_trips_and_defaults() {
+        // The emitted header parses back to the arms it recorded…
+        let doc = tiny_baseline_doc()
+            .replace("\"queue\": \"wheel\"", "\"queue\": \"heap\"")
+            .replace("\"demand_gating\": true", "\"demand_gating\": false")
+            .replace("\"env\": \"off\"", "\"env\": \"straggler-heavy\"");
+        assert_eq!(
+            parse_arm_header(&doc),
+            (QueueKind::Heap, false, EnvPreset::StragglerHeavy)
+        );
+        // …a row field named like a header key is not mistaken for one…
+        assert_eq!(
+            parse_arm_header(&tiny_baseline_doc()),
+            (QueueKind::Wheel, true, EnvPreset::Off)
+        );
+        // …and headerless (pre-metadata) files fall back to the default
+        // arm.
+        let old = "{\n  \"seed\": 7\n}\n";
+        assert_eq!(
+            parse_arm_header(old),
+            (QueueKind::Wheel, true, EnvPreset::Off)
+        );
+    }
+
+    #[test]
+    fn parse_ignores_unknown_metadata_keys() {
+        // Arm headers, env counters, and future keys must be skipped —
+        // never choked on — at both the document and the row level.
+        let doc = tiny_baseline_doc()
+            .replace(
+                "  \"env\": \"off\",\n",
+                "  \"env\": \"flash-crowd\",\n  \"some_future_header\": [1, 2],\n",
+            )
+            .replace(
+                "      \"peak_queue_len\": 42,\n",
+                "      \"peak_queue_len\": 42,\n      \"dropouts\": 17,\n      \
+                 \"forced_offline\": 3,\n      \"storm_aborts\": 1,\n      \
+                 \"retries\": 9,\n      \"some_future_field\": \"x\",\n",
+            );
+        let (seed, rows) = parse_baseline(&doc).expect("unknown keys must not break parsing");
+        assert_eq!(seed, 7);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].events, 1000);
+        assert_eq!(rows[0].peak_queue_len, 42);
+    }
+
+    #[test]
     fn generator_and_parser_agree_on_a_real_matrix() {
         use venn_traces::WorkloadKind;
         let exp = Experiment::smoke(WorkloadKind::Even, 3);
@@ -333,9 +448,34 @@ mod tests {
             .kinds(&baseline_kinds())
             .seeds(&[3]);
         let runs = run_matrix_sequential(&matrix);
-        let json = baseline_json(&exp, &runs, 3);
+        let json = baseline_json(&exp, &runs, 3, EnvPreset::Off, true);
+        assert!(json.contains("\"queue\": \"wheel\""));
+        assert!(json.contains("\"demand_gating\": true"));
+        assert!(json.contains("\"env\": \"off\""));
         let (seed, rows) = parse_baseline(&json).unwrap();
         assert_eq!(seed, 3);
         assert_eq!(rows, baseline_rows(&runs));
+    }
+
+    #[test]
+    fn env_arms_emit_their_counters_and_timing_can_be_omitted() {
+        let preset = EnvPreset::MassDropout;
+        let mut exp = Experiment::smoke(WorkloadKind::Even, 3);
+        exp.sim.env = preset.config();
+        let matrix = Matrix::new()
+            .fixed("paper_default/even", exp.clone())
+            .kinds(&[SchedKind::Random])
+            .seeds(&[3]);
+        let runs = run_matrix_sequential(&matrix);
+        let json = baseline_json(&exp, &runs, 3, preset, false);
+        assert!(json.contains("\"env\": \"mass-dropout\""));
+        assert!(json.contains("\"forced_offline\":"));
+        assert!(json.contains("\"retries\":"));
+        assert!(
+            !json.contains("wall_ms") && !json.contains("events_per_sec"),
+            "deterministic documents must omit timing telemetry"
+        );
+        let (_, rows) = parse_baseline(&json).unwrap();
+        assert_eq!(rows.len(), 1, "env counters must not derail row parsing");
     }
 }

@@ -9,16 +9,19 @@
 //! regenerating the baseline, and the gate fails with a field-level diff.
 //! Timing telemetry (`wall_ms`, `events_per_sec`) is exempt.
 //!
-//! The seed is taken from the committed file, so the gate always replays
-//! exactly the recorded experiment.
+//! The seed and the arm configuration (queue, demand gating, env
+//! preset) are taken from the committed file's self-describing header,
+//! so the gate always replays exactly the recorded experiment — a
+//! baseline exported from a reference or environment arm is diffed
+//! against that same arm. Headerless (pre-arm-metadata) files fall back
+//! to the default arm.
 //!
 //! Run: `cargo run --release -p venn-bench --bin check_regression
 //!       [--baseline PATH]`
 
 use std::process::ExitCode;
 
-use venn_bench::{baseline_rows, diff_rows, parse_baseline, run_baseline};
-use venn_sim::QueueKind;
+use venn_bench::{baseline_rows, diff_rows, parse_arm_header, parse_baseline, run_baseline};
 
 fn main() -> ExitCode {
     let mut path = "BENCH_BASELINE.json".to_string();
@@ -55,11 +58,14 @@ fn main() -> ExitCode {
         }
     };
 
+    let (queue, demand_gating, env) = parse_arm_header(&text);
     eprintln!(
-        "replaying baseline matrix (seed {seed}, {} schedulers)…",
-        committed.len()
+        "replaying baseline matrix (seed {seed}, {} schedulers, queue {queue:?}, \
+         gating {demand_gating}, env {})…",
+        committed.len(),
+        env.label()
     );
-    let (_, runs) = run_baseline(seed, QueueKind::Wheel, true);
+    let (_, runs) = run_baseline(seed, queue, demand_gating, env);
     let fresh = baseline_rows(&runs);
 
     if committed.len() != fresh.len() {
@@ -85,9 +91,19 @@ fn main() -> ExitCode {
         }
     }
     if drifted {
+        let mut flags = String::new();
+        if queue == venn_sim::QueueKind::Heap {
+            flags.push_str(" --queue heap");
+        }
+        if !demand_gating {
+            flags.push_str(" --no-gating");
+        }
+        if env != venn_env::EnvPreset::Off {
+            flags.push_str(&format!(" --env {}", env.label()));
+        }
         eprintln!(
             "\nbenchmark baseline drifted — if the change is intentional, regenerate with:\n  \
-             cargo run --release -p venn-bench --bin export_results -- {seed} --json {path}"
+             cargo run --release -p venn-bench --bin export_results -- {seed}{flags} --json {path}"
         );
         ExitCode::FAILURE
     } else {

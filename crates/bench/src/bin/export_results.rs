@@ -9,16 +9,27 @@
 //! results to `venn` by construction (the incremental parity harness),
 //! differing only in `wall_ms`/`events_per_sec`.
 //!
-//! The kernel's two perf arms are selectable for A/B verification:
-//! `--queue heap` runs the binary-heap reference queue instead of the
-//! timing wheel, and `--no-gating` disables demand-gated check-ins. Both
-//! reference arms must reproduce the default arm's JCT stats bit for bit;
-//! only `events` may differ, and only via gating.
+//! The kernel's perf and environment arms are selectable for A/B
+//! verification: `--queue heap` runs the binary-heap reference queue
+//! instead of the timing wheel, `--no-gating` disables demand-gated
+//! check-ins, and `--env <preset>` turns on a `venn-env` scenario
+//! (`off|flash-crowd|straggler-heavy|mass-dropout|chaos`). The queue and
+//! gating reference arms must reproduce the default arm's JCT stats bit
+//! for bit; only `events` may differ, and only via gating. The chosen
+//! arms are recorded in the JSON header so baseline files are
+//! self-describing.
+//!
+//! `--deterministic` omits the timing telemetry (`wall_ms`,
+//! `events_per_sec`) from the JSON so two runs of the same arm produce
+//! byte-identical documents — the CI env-preset determinism gate diffs
+//! exactly that.
 //!
 //! Run: `cargo run --release -p venn-bench --bin export_results [seed]
-//!       [--json PATH] [--queue wheel|heap] [--no-gating]`
+//!       [--json PATH] [--queue wheel|heap] [--no-gating]
+//!       [--env PRESET] [--deterministic]`
 
 use venn_bench::{baseline_json, run_baseline};
+use venn_env::EnvPreset;
 use venn_metrics::csv::Csv;
 use venn_sim::QueueKind;
 
@@ -28,6 +39,8 @@ fn main() {
     let mut json_path: Option<String> = None;
     let mut queue = QueueKind::Wheel;
     let mut demand_gating = true;
+    let mut env = EnvPreset::Off;
+    let mut timing = true;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--json" {
@@ -49,6 +62,19 @@ fn main() {
             };
         } else if arg == "--no-gating" {
             demand_gating = false;
+        } else if arg == "--env" {
+            env = match it.next().map(String::as_str).and_then(EnvPreset::parse) {
+                Some(p) => p,
+                None => {
+                    eprintln!(
+                        "error: --env needs one of {}",
+                        EnvPreset::ALL.map(|p| p.label()).join("|")
+                    );
+                    std::process::exit(1);
+                }
+            };
+        } else if arg == "--deterministic" {
+            timing = false;
         } else {
             match arg.parse() {
                 Ok(s) => seed = s,
@@ -63,7 +89,7 @@ fn main() {
     // Sequential on purpose: wall_ms feeds the events/sec baseline, and
     // timing runs while sibling simulations contend for cores would make
     // the recorded numbers machine-load-dependent.
-    let (exp, runs) = run_baseline(seed, queue, demand_gating);
+    let (exp, runs) = run_baseline(seed, queue, demand_gating, env);
 
     for r in &runs {
         let mut csv = Csv::new(&[
@@ -98,7 +124,7 @@ fn main() {
     }
 
     if let Some(path) = json_path {
-        let json = baseline_json(&exp, &runs, seed);
+        let json = baseline_json(&exp, &runs, seed, env, timing);
         std::fs::write(&path, json).expect("write json baseline");
         eprintln!("wrote baseline to {path}");
     }

@@ -12,6 +12,7 @@
 //!           [--bias {general|compute|memory|resource}]
 //!           [--epsilon F] [--tiers N] [--async] [--overcommit F]
 //!           [--queue wheel|heap] [--no-gating]
+//!           [--env off|flash-crowd|straggler-heavy|mass-dropout|chaos]
 //!           [--load FILE.tsv] [--save FILE.tsv] [--csv]
 //! ```
 //!
@@ -24,6 +25,7 @@ use rand::SeedableRng;
 
 use venn_baselines::BaselineScheduler;
 use venn_core::{Scheduler, VennConfig, VennScheduler, MINUTE_MS};
+use venn_env::EnvPreset;
 use venn_metrics::csv::Csv;
 use venn_sim::{QueueKind, SimConfig, Simulation};
 use venn_traces::{io as wio, BiasKind, JobDemandModel, Workload, WorkloadKind};
@@ -43,6 +45,7 @@ struct Args {
     overcommit: f64,
     queue: QueueKind,
     demand_gating: bool,
+    env: EnvPreset,
     load: Option<String>,
     save: Option<String>,
     csv: bool,
@@ -64,6 +67,7 @@ impl Default for Args {
             overcommit: 0.0,
             queue: QueueKind::Wheel,
             demand_gating: true,
+            env: EnvPreset::Off,
             load: None,
             save: None,
             csv: false,
@@ -136,6 +140,11 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--no-gating" => args.demand_gating = false,
+            "--env" => {
+                let name = value("--env")?;
+                args.env = EnvPreset::parse(&name)
+                    .ok_or_else(|| format!("unknown env preset {name:?}"))?;
+            }
             "--overcommit" => {
                 args.overcommit = value("--overcommit")?
                     .parse()
@@ -200,6 +209,7 @@ fn run(args: &Args) -> Result<(), String> {
         overcommit: args.overcommit,
         queue: args.queue,
         demand_gating: args.demand_gating,
+        env: args.env.config(),
         ..SimConfig::default()
     };
     let mut scheduler = build_scheduler(args)?;
@@ -239,6 +249,17 @@ fn run(args: &Args) -> Result<(), String> {
         "assignments      {} ({} failed)",
         result.assignments, result.failures
     );
+    if args.env != EnvPreset::Off {
+        let e = &result.env;
+        println!("env preset       {}", args.env.label());
+        println!(
+            "env dynamics     {} dropouts, {} forced offline, {} storm aborts, {} retries",
+            e.dropouts, e.forced_offline, e.storm_aborts, e.retries
+        );
+        for (tier, h) in e.tier_response_ms.iter().enumerate() {
+            println!("tier {tier} responses  {}", h.total());
+        }
+    }
     Ok(())
 }
 
@@ -260,6 +281,7 @@ fn main() -> ExitCode {
                  [--population N] [--days N] [--seed N] [--workload even|small|large|low|high] \
                  [--bias general|compute|memory|resource] [--epsilon F] [--tiers N] \
                  [--async] [--overcommit F] [--queue wheel|heap] [--no-gating] \
+                 [--env off|flash-crowd|straggler-heavy|mass-dropout|chaos] \
                  [--load FILE.tsv] [--save FILE.tsv] [--csv]"
             );
             if e == "help" {

@@ -16,8 +16,8 @@ pub mod baseline;
 pub mod matrix;
 
 pub use baseline::{
-    baseline_json, baseline_kinds, baseline_rows, diff_rows, parse_baseline, run_baseline,
-    BaselineRow,
+    baseline_json, baseline_kinds, baseline_rows, diff_rows, parse_arm_header, parse_baseline,
+    run_baseline, BaselineRow,
 };
 pub use matrix::{
     run_matrix, run_matrix_sequential, speedup_summary, with_baseline, Matrix, MatrixCell,
@@ -30,7 +30,7 @@ use rand::SeedableRng;
 use venn_baselines::BaselineScheduler;
 use venn_core::{Scheduler, VennConfig, VennScheduler, MINUTE_MS};
 use venn_sim::{SimConfig, SimResult, Simulation};
-use venn_traces::{BiasKind, JobDemandModel, Workload, WorkloadKind};
+use venn_traces::{BiasKind, JobDemandModel, ScenarioPreset, Workload, WorkloadKind};
 
 /// Every scheduler the evaluation compares.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,6 +135,22 @@ impl Experiment {
             },
             workload,
         }
+    }
+
+    /// A (workload × environment) scenario preset at the paper's default
+    /// evaluation scale — the sweep harness's entry point for the
+    /// `venn-env` scenario axis.
+    pub fn scenario(preset: &ScenarioPreset, seed: u64) -> Experiment {
+        let mut exp = Experiment::paper_default(preset.workload, preset.bias, seed);
+        exp.sim.env = preset.env.config();
+        exp
+    }
+
+    /// [`Experiment::scenario`] at smoke scale, for tests and CI jobs.
+    pub fn scenario_smoke(preset: &ScenarioPreset, seed: u64) -> Experiment {
+        let mut exp = Experiment::smoke(preset.workload, seed);
+        exp.sim.env = preset.env.config();
+        exp
     }
 
     /// A smaller, faster variant used by tests and smoke runs.

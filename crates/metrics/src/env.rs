@@ -1,0 +1,94 @@
+//! Environment-dynamics telemetry: what the `venn-env` subsystem did to
+//! a run.
+//!
+//! The simulation kernel fills one [`EnvStats`] per run; with the
+//! environment disabled it stays at its empty default, so the env-off
+//! arm carries no extra accounting. Per-tier response histograms use the
+//! crate's fixed-width [`Histogram`] over a log-friendly 0–30 min range.
+
+use crate::histogram::Histogram;
+
+/// Response-time histogram range: 0–30 simulated minutes, 60 bins of
+/// 30 s each (responses beyond clamp into the last bin).
+const RESPONSE_HIST_MAX_MS: f64 = 30.0 * 60_000.0;
+const RESPONSE_HIST_BINS: usize = 60;
+
+/// Counters and sketches of environment-injected dynamics in one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnvStats {
+    /// Participants dropped mid-round by their network tier (each one an
+    /// `AssignFailure` scheduled before the response would have landed).
+    pub dropouts: u64,
+    /// Devices forced offline by mass-offline disturbances or scripted
+    /// device faults.
+    pub forced_offline: u64,
+    /// Rounds aborted by abort storms (also counted in the kernel's
+    /// `aborted_rounds`).
+    pub storm_aborts: u64,
+    /// Round retries scheduled after any abort while the environment was
+    /// active (deadline misses and storms alike).
+    pub retries: u64,
+    /// Per-network-tier histograms of counted response times, indexed by
+    /// tier. Empty when the environment is off.
+    pub tier_response_ms: Vec<Histogram>,
+}
+
+impl EnvStats {
+    /// Stats sized for `tiers` network tiers (histograms pre-allocated).
+    pub fn with_tiers(tiers: usize) -> Self {
+        EnvStats {
+            tier_response_ms: (0..tiers)
+                .map(|_| Histogram::new(0.0, RESPONSE_HIST_MAX_MS, RESPONSE_HIST_BINS))
+                .collect(),
+            ..EnvStats::default()
+        }
+    }
+
+    /// Records one counted response for `tier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tier` is out of range for the stats' tier table.
+    pub fn record_response(&mut self, tier: usize, response_ms: u64) {
+        self.tier_response_ms[tier].record(response_ms as f64);
+    }
+
+    /// Whether any environment dynamics fired in this run.
+    pub fn is_empty(&self) -> bool {
+        self.dropouts == 0
+            && self.forced_offline == 0
+            && self.storm_aborts == 0
+            && self.retries == 0
+            && self.tier_response_ms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_empty_and_tierless() {
+        let s = EnvStats::default();
+        assert!(s.is_empty());
+        assert!(s.tier_response_ms.is_empty());
+    }
+
+    #[test]
+    fn with_tiers_allocates_histograms() {
+        let mut s = EnvStats::with_tiers(3);
+        assert_eq!(s.tier_response_ms.len(), 3);
+        assert!(!s.is_empty());
+        s.record_response(1, 90_000);
+        assert_eq!(s.tier_response_ms[1].total(), 1);
+        assert_eq!(s.tier_response_ms[0].total(), 0);
+    }
+
+    #[test]
+    fn responses_clamp_into_the_last_bin() {
+        let mut s = EnvStats::with_tiers(1);
+        s.record_response(0, 3 * 3_600_000); // 3 h ≫ 30 min range
+        let h = &s.tier_response_ms[0];
+        assert_eq!(h.counts()[h.counts().len() - 1], 1);
+    }
+}

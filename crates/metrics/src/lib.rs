@@ -28,6 +28,7 @@
 //! ```
 
 pub mod csv;
+pub mod env;
 pub mod histogram;
 pub mod jct;
 pub mod samples;
@@ -35,6 +36,7 @@ pub mod series;
 pub mod table;
 pub mod welford;
 
+pub use env::EnvStats;
 pub use histogram::Histogram;
 pub use jct::{JctBreakdown, JctRecord};
 pub use samples::Samples;

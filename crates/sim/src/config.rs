@@ -1,6 +1,7 @@
 //! Simulation parameters.
 
 use venn_core::{CategoryThresholds, SimTime, MINUTE_MS};
+use venn_env::EnvConfig;
 use venn_traces::{AvailabilityModel, CapacityModel};
 
 use crate::event::QueueKind;
@@ -70,6 +71,12 @@ pub struct SimConfig {
     /// events shrink, while schedules, RNG draws, and results stay
     /// byte-identical to the un-gated run (`false` is that reference arm).
     pub demand_gating: bool,
+    /// Environment dynamics (`venn-env`): churn, flash crowds, network
+    /// tiers, and fault plans, each on its own split RNG stream. The
+    /// default ([`EnvConfig::off`]) injects nothing — that arm is
+    /// bit-identical to the pre-environment kernel and parity-pinned
+    /// against the committed benchmark baseline.
+    pub env: EnvConfig,
 }
 
 impl Default for SimConfig {
@@ -102,6 +109,7 @@ impl Default for SimConfig {
             record_rounds: false,
             queue: QueueKind::Wheel,
             demand_gating: true,
+            env: EnvConfig::off(),
         }
     }
 }
@@ -149,6 +157,7 @@ impl SimConfig {
             (0.0..1.0).contains(&self.overcommit),
             "overcommit must be in [0, 1)"
         );
+        self.env.validate();
     }
 
     /// Devices a job actually requests for a round of `demand`

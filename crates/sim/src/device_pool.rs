@@ -18,6 +18,21 @@ pub struct DeviceState {
     /// While held by a job: the device's slot in that job's hold list,
     /// making hold release O(1). Meaningless when not held.
     pub held_slot: usize,
+    /// Whether `busy` means *held* (allocated, idle) rather than
+    /// *computing* — environment faults treat the two differently.
+    pub held: bool,
+    /// While held: the holding job's workload index. Meaningless when
+    /// not held.
+    pub held_job: usize,
+    /// Hold-generation counter, bumped on every [`DevicePool::mark_held`].
+    /// A pending `HoldExpire` only releases when its recorded generation
+    /// still matches — environment faults can release holds early, which
+    /// would otherwise let the stale expiry free a *new* hold.
+    pub hold_seq: u64,
+    /// Set when an environment fault forced the device offline while it
+    /// was computing: its in-flight response must be counted as a
+    /// failure when it arrives. Never set on the env-off arm.
+    pub failed_task: bool,
 }
 
 /// All devices of one simulated world, indexed by population index.
@@ -53,6 +68,10 @@ impl DevicePool {
                     busy: false,
                     last_task_day: None,
                     held_slot: 0,
+                    held: false,
+                    held_job: 0,
+                    hold_seq: 0,
+                    failed_task: false,
                 })
                 .collect(),
             infos,
@@ -102,17 +121,25 @@ impl DevicePool {
         !(one_task_per_day && d.last_task_day == Some(now / DAY_MS))
     }
 
-    /// Marks the device held/computing.
+    /// Marks the device computing (async-mode assignment — no holding
+    /// phase).
     pub fn mark_busy(&mut self, device: usize) {
-        self.devices[device].busy = true;
-    }
-
-    /// Marks the device held by a job, remembering its slot in the job's
-    /// hold list so a later release is O(1).
-    pub fn mark_held(&mut self, device: usize, held_slot: usize) {
         let d = &mut self.devices[device];
         d.busy = true;
+        d.held = false;
+    }
+
+    /// Marks the device held by `job`, remembering its slot in the job's
+    /// hold list so a later release is O(1), and returns the new hold
+    /// generation (carried by the matching `HoldExpire` event).
+    pub fn mark_held(&mut self, device: usize, job: usize, held_slot: usize) -> u64 {
+        let d = &mut self.devices[device];
+        d.busy = true;
+        d.held = true;
+        d.held_job = job;
         d.held_slot = held_slot;
+        d.hold_seq += 1;
+        d.hold_seq
     }
 
     /// The device's slot in the holding job's hold list (set by
@@ -121,10 +148,45 @@ impl DevicePool {
         self.devices[device].held_slot
     }
 
+    /// Whether the device is still in the hold instance identified by
+    /// `hold_seq` (the guard a `HoldExpire` must pass before releasing).
+    pub fn hold_is_current(&self, device: usize, hold_seq: u64) -> bool {
+        let d = &self.devices[device];
+        d.busy && d.held && d.hold_seq == hold_seq
+    }
+
+    /// The device leaves its holding phase and starts computing (round
+    /// start): still busy, no longer *held*.
+    pub fn begin_compute(&mut self, device: usize) {
+        self.devices[device].held = false;
+    }
+
     /// Returns the device to the idle pool (response, failure, or hold
     /// release).
     pub fn release(&mut self, device: usize) {
-        self.devices[device].busy = false;
+        let d = &mut self.devices[device];
+        d.busy = false;
+        d.held = false;
+    }
+
+    /// Forces the device offline *now* (environment fault): the session
+    /// end shrinks to `now` — the one place the sessions-only-extend
+    /// rule is deliberately broken, which is why parked check-ins
+    /// re-validate their session before replaying.
+    pub fn force_offline(&mut self, device: usize, now: SimTime) {
+        let d = &mut self.devices[device];
+        d.session_end = d.session_end.min(now);
+    }
+
+    /// Flags an in-flight computation as failed (the device was forced
+    /// offline while computing); its response must not count.
+    pub fn mark_failed_task(&mut self, device: usize) {
+        self.devices[device].failed_task = true;
+    }
+
+    /// Consumes the failed-task flag, returning whether it was set.
+    pub fn take_failed_task(&mut self, device: usize) -> bool {
+        std::mem::take(&mut self.devices[device].failed_task)
     }
 
     /// Records that the device computed a task today (daily-cap
@@ -181,6 +243,37 @@ mod tests {
         assert!(!p.can_check_in(0, 2_000, true), "cap applies same day");
         assert!(p.can_check_in(0, 2_000, false), "cap can be disabled");
         assert!(p.can_check_in(0, DAY_MS + 1, true), "next day resets cap");
+    }
+
+    #[test]
+    fn hold_generations_guard_stale_expiries() {
+        let mut p = pool(1);
+        p.begin_session(0, 10_000);
+        let g1 = p.mark_held(0, 3, 0);
+        assert!(p.hold_is_current(0, g1));
+        p.release(0);
+        assert!(!p.hold_is_current(0, g1), "released hold is stale");
+        let g2 = p.mark_held(0, 3, 1);
+        assert_ne!(g1, g2);
+        assert!(!p.hold_is_current(0, g1), "old generation must not match");
+        assert!(p.hold_is_current(0, g2));
+        p.begin_compute(0);
+        assert!(!p.hold_is_current(0, g2), "computing devices are not held");
+    }
+
+    #[test]
+    fn force_offline_shrinks_session_and_flags_tasks() {
+        let mut p = pool(1);
+        p.begin_session(0, 10_000);
+        p.force_offline(0, 4_000);
+        assert_eq!(p.session_end(0), 4_000);
+        assert!(!p.can_check_in(0, 5_000, true), "forced offline at 4000");
+        // A later session start extends again (only-extend vs the new end).
+        p.begin_session(0, 8_000);
+        assert_eq!(p.session_end(0), 8_000);
+        p.mark_failed_task(0);
+        assert!(p.take_failed_task(0));
+        assert!(!p.take_failed_task(0), "flag is consumed");
     }
 
     #[test]

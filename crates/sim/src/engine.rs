@@ -367,6 +367,115 @@ mod tests {
     }
 
     #[test]
+    fn straggler_env_stretches_responses_and_fills_tier_histograms() {
+        let w = tiny_workload(3, 5, 2);
+        let off = run_fifo(&w, SimConfig::small());
+        let hard = run_fifo(
+            &w,
+            SimConfig {
+                env: venn_env::EnvPreset::StragglerHeavy.config(),
+                ..SimConfig::small()
+            },
+        );
+        // The straggler preset has no churn, so the check-in stream is
+        // unchanged; every response is stretched by its tier multiplier,
+        // so cumulative response time can only grow.
+        let total = |r: &SimResult| r.records.iter().map(|rec| rec.response_ms).sum::<u64>();
+        assert!(
+            total(&hard) >= total(&off),
+            "stretched responses must not get faster: {} vs {}",
+            total(&hard),
+            total(&off)
+        );
+        assert_eq!(hard.env.tier_response_ms.len(), 4);
+        let recorded: u64 = hard.env.tier_response_ms.iter().map(|h| h.total()).sum();
+        assert!(
+            recorded > 0,
+            "counted responses must land in tier histograms"
+        );
+        assert!(off.env.is_empty(), "env-off runs carry no env telemetry");
+    }
+
+    #[test]
+    fn mass_dropout_env_forces_devices_offline_deterministically() {
+        let w = tiny_workload(4, 8, 3);
+        let config = SimConfig {
+            env: venn_env::EnvPreset::MassDropout.config(),
+            ..SimConfig::small()
+        };
+        let a = run_fifo(&w, config);
+        let b = run_fifo(&w, config);
+        assert_eq!(a.records, b.records, "env runs must replay per seed");
+        assert_eq!(a.env, b.env);
+        assert!(
+            a.env.forced_offline > 0,
+            "two half-population offline waves must claim victims"
+        );
+        assert!(a.completion_rate() > 0.0, "{:?}", a.records);
+    }
+
+    #[test]
+    fn scripted_device_fault_fails_the_in_flight_task() {
+        // One job, one round: observe where the env-off round starts and
+        // which devices compute it, then script faults that kill every
+        // participant mid-round. The round must abort and retry.
+        #[derive(Default)]
+        struct RoundStarts(Vec<SimTime>);
+        impl SimObserver for RoundStarts {
+            fn on_round_start(&mut self, now: SimTime, _job_idx: usize, _round: u32) {
+                self.0.push(now);
+            }
+        }
+        let w = tiny_workload(1, 5, 1);
+        let mut sched = venn_baselines::BaselineScheduler::fifo();
+        let mut starts = RoundStarts::default();
+        let mut assignments = crate::AssignmentLog::default();
+        let off = Simulation::new(SimConfig::small()).run_observed(
+            &w,
+            &mut sched,
+            &mut [&mut starts, &mut assignments],
+        );
+        assert_eq!(off.failures, 0, "baseline scenario has no departures");
+        let t0 = starts.0[0];
+        let faults: &'static [venn_env::DeviceFault] = Box::leak(
+            assignments
+                .assignments
+                .iter()
+                .map(|&(_, _, device)| venn_env::DeviceFault {
+                    at_ms: t0 + 1_000,
+                    device,
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        );
+        let env = venn_env::EnvConfig {
+            faults,
+            ..venn_env::EnvConfig::neutral()
+        };
+        let failed = run_fifo(
+            &w,
+            SimConfig {
+                env,
+                ..SimConfig::small()
+            },
+        );
+        assert_eq!(
+            failed.env.forced_offline, 5,
+            "all five computing participants must be struck"
+        );
+        assert!(
+            failed.failures >= 5,
+            "their responses must arrive as failures"
+        );
+        assert!(failed.aborted_rounds >= 1, "the round cannot reach quorum");
+        assert!(
+            failed.completion_rate() > 0.99,
+            "the job must still finish on retried capacity: {:?}",
+            failed.records
+        );
+    }
+
+    #[test]
     fn hold_expiries_release_devices_without_perturbing_determinism() {
         // Tight population + multi-day horizon: sessions end while devices
         // are held, exercising the O(1) tombstone release path.
@@ -420,6 +529,7 @@ mod tests {
         assert_eq!(trace.total, r.events);
         let by_kind = trace.job_arrivals
             + trace.session_starts
+            + trace.env_disturbances
             + trace.check_ins
             + trace.hold_expires
             + trace.responses

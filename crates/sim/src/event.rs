@@ -44,6 +44,11 @@ pub enum EventKind {
     JobArrival { job_idx: usize },
     /// A device availability session begins.
     SessionStart { device: usize, session_end: SimTime },
+    /// A scheduled `venn-env` disturbance (mass-offline wave, scripted
+    /// device fault, or abort storm) fires; the payload indexes the
+    /// compiled environment's disturbance schedule. Never emitted on the
+    /// env-off arm.
+    EnvDisturbance { env_idx: usize },
     /// An online, idle device polls the resource manager.
     CheckIn { device: usize },
     /// A held (allocated but not yet computing) device's session ends.
@@ -51,6 +56,12 @@ pub enum EventKind {
         job: JobId,
         epoch: u32,
         device: usize,
+        /// The device's hold-generation counter at hold time. A fault
+        /// can now release a hold *early* (forced offline), so the
+        /// expiry must prove it still refers to the same hold instance
+        /// before releasing — on the env-off arm the counter check is
+        /// always true exactly when the phase/epoch guards pass.
+        hold_seq: u64,
     },
     /// A device finishes its task and reports back.
     Response {

@@ -53,6 +53,8 @@ pub struct EventTrace {
     pub job_arrivals: u64,
     /// `SessionStart` events.
     pub session_starts: u64,
+    /// `EnvDisturbance` events (always 0 on the env-off arm).
+    pub env_disturbances: u64,
     /// `CheckIn` events.
     pub check_ins: u64,
     /// `HoldExpire` events.
@@ -73,6 +75,7 @@ impl SimObserver for EventTrace {
         match kind {
             EventKind::JobArrival { .. } => self.job_arrivals += 1,
             EventKind::SessionStart { .. } => self.session_starts += 1,
+            EventKind::EnvDisturbance { .. } => self.env_disturbances += 1,
             EventKind::CheckIn { .. } => self.check_ins += 1,
             EventKind::HoldExpire { .. } => self.hold_expires += 1,
             EventKind::Response { .. } => self.responses += 1,

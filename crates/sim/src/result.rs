@@ -1,7 +1,7 @@
 //! Simulation outputs.
 
 use venn_core::SimTime;
-use venn_metrics::{JctBreakdown, JctRecord};
+use venn_metrics::{EnvStats, JctBreakdown, JctRecord};
 
 /// One completed round, logged when `record_rounds` is enabled — the hook
 /// the federated-learning experiments (Figs. 4, 9) consume.
@@ -44,6 +44,10 @@ pub struct SimResult {
     /// timing wheel keeps out of the hot tiers. The wheel/heap arms agree
     /// on it bit for bit.
     pub peak_queue_len: u64,
+    /// Environment-dynamics telemetry (`venn-env`): dropouts, forced
+    /// offlines, storm aborts, retries, per-tier response histograms.
+    /// Stays at the empty default on the env-off arm.
+    pub env: EnvStats,
 }
 
 impl SimResult {

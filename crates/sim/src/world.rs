@@ -22,6 +22,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use venn_core::{JobId, Scheduler, SimTime};
+use venn_env::{Disturbance, EnvRuntime};
+use venn_metrics::EnvStats;
 use venn_traces::dist::LogNormal;
 use venn_traces::Workload;
 
@@ -72,6 +74,12 @@ pub struct World<'w> {
     /// created `repoll_ms` after a stream position that is itself
     /// non-decreasing, so a new entry's key always trails the back's.
     parked: VecDeque<ParkedPoll>,
+    /// Compiled environment dynamics (`None` on the env-off arm — the
+    /// kernel then takes its pre-environment paths untouched). All
+    /// environment randomness lives in the runtime's own split streams,
+    /// never in `rng`, so enabling a scenario cannot shift the kernel's
+    /// response-noise draws.
+    env: Option<EnvRuntime>,
     rng: StdRng,
     noise: LogNormal,
     result: SimResult,
@@ -92,17 +100,40 @@ impl<'w> World<'w> {
             .availability
             .generate(config.population, config.days, &mut rng);
         let noise = LogNormal::from_mean_cv(1.0, config.response_noise_cv.max(1e-6));
+        let env = config.env.compile(config.population, horizon, config.seed);
 
         let mut queue = EventQueue::with_kind(config.queue);
         for s in &sessions {
-            if s.start < horizon {
+            // Churn clips base sessions to each device's active window
+            // (late joiners, permanent leavers). Env-off passes through.
+            let (start, end) = match &env {
+                Some(e) => match e.clip_session(s.device, s.start, s.end) {
+                    Some(w) => w,
+                    None => continue,
+                },
+                None => (s.start, s.end),
+            };
+            if start < horizon {
                 queue.push(
-                    s.start,
+                    start,
                     EventKind::SessionStart {
                         device: s.device,
-                        session_end: s.end.min(horizon),
+                        session_end: end.min(horizon),
                     },
                 );
+            }
+        }
+        if let Some(e) = &env {
+            for s in e.extra_sessions() {
+                if s.start < horizon {
+                    queue.push(
+                        s.start,
+                        EventKind::SessionStart {
+                            device: s.device,
+                            session_end: s.end.min(horizon),
+                        },
+                    );
+                }
             }
         }
         for (idx, plan) in workload.jobs.iter().enumerate() {
@@ -110,16 +141,29 @@ impl<'w> World<'w> {
                 queue.push(plan.arrival_ms, EventKind::JobArrival { job_idx: idx });
             }
         }
+        if let Some(e) = &env {
+            for (idx, (time, _)) in e.disturbances().iter().enumerate() {
+                if *time <= horizon {
+                    queue.push(*time, EventKind::EnvDisturbance { env_idx: idx });
+                }
+            }
+        }
 
+        let env_stats = match &env {
+            Some(e) => EnvStats::with_tiers(e.tier_count()),
+            None => EnvStats::default(),
+        };
         World {
             devices: DevicePool::new(profiles),
             jobs: JobTable::new(workload, config.thresholds),
             queue,
             parked: VecDeque::new(),
+            env,
             rng,
             noise,
             result: SimResult {
                 scheduler_name: scheduler_name.to_string(),
+                env: env_stats,
                 ..SimResult::default()
             },
             horizon,
@@ -209,6 +253,13 @@ impl<'w> World<'w> {
             }
             let p = *front;
             self.parked.pop_front();
+            if p.time >= self.devices.session_end(p.device) {
+                // An environment fault forced the device offline after it
+                // parked (the one way a session can shrink): the un-gated
+                // arm's check-in at `p.time` would fail `can_check_in`
+                // and observe nothing, so the poll chain dies here too.
+                continue;
+            }
             if observes {
                 scheduler.on_check_in(self.devices.info(p.device), p.time);
             }
@@ -253,9 +304,15 @@ impl<'w> World<'w> {
             EventKind::CheckIn { device } => {
                 self.handle_check_in(device, now, scheduler, observers)
             }
-            EventKind::HoldExpire { job, epoch, device } => {
-                self.handle_hold_expire(job, epoch, device, now, scheduler)
+            EventKind::EnvDisturbance { env_idx } => {
+                self.handle_env_disturbance(env_idx, now, scheduler, observers)
             }
+            EventKind::HoldExpire {
+                job,
+                epoch,
+                device,
+                hold_seq,
+            } => self.handle_hold_expire(job, epoch, device, hold_seq, now, scheduler),
             EventKind::Response {
                 job,
                 epoch,
@@ -360,13 +417,14 @@ impl<'w> World<'w> {
                     return;
                 }
                 let slot = self.jobs.get_mut(job_idx).hold(device);
-                self.devices.mark_held(device, slot);
+                let hold_seq = self.devices.mark_held(device, job_idx, slot);
                 self.queue.push(
                     self.devices.session_end(device),
                     EventKind::HoldExpire {
                         job,
                         epoch: self.jobs.get(job_idx).epoch,
                         device,
+                        hold_seq,
                     },
                 );
                 let requested = self.config.requested(self.workload.jobs[job_idx].demand);
@@ -416,17 +474,7 @@ impl<'w> World<'w> {
             (task_ms / d.profile.speed * self.noise.sample(&mut self.rng)).max(1_000.0) as u64;
         let session_end = d.session_end;
         let epoch = self.jobs.get(job_idx).epoch;
-        let kind = if now + response_ms <= session_end {
-            EventKind::Response {
-                job,
-                epoch,
-                device,
-                response_ms,
-            }
-        } else {
-            EventKind::AssignFailure { job, epoch, device }
-        };
-        self.queue.push((now + response_ms).min(session_end), kind);
+        self.push_task_outcome(job, epoch, device, response_ms, now, session_end);
         let requested = self.config.requested(self.workload.jobs[job_idx].demand);
         let j = self.jobs.get_mut(job_idx);
         if j.assigned >= requested && j.phase == JobPhase::Allocating {
@@ -473,26 +521,13 @@ impl<'w> World<'w> {
             if device == crate::job_table::HELD_TOMBSTONE {
                 continue;
             }
+            self.devices.begin_compute(device);
             self.devices.note_task(device, now);
             let d = self.devices.get(device);
             let response_ms =
                 (task_ms / d.profile.speed * self.noise.sample(&mut self.rng)).max(1_000.0) as u64;
-            if now + response_ms <= d.session_end {
-                self.queue.push(
-                    now + response_ms,
-                    EventKind::Response {
-                        job,
-                        epoch,
-                        device,
-                        response_ms,
-                    },
-                );
-            } else {
-                self.queue.push(
-                    d.session_end,
-                    EventKind::AssignFailure { job, epoch, device },
-                );
-            }
+            let session_end = d.session_end;
+            self.push_task_outcome(job, epoch, device, response_ms, now, session_end);
         }
         self.queue.push(
             now + self.config.deadline_ms(demand),
@@ -503,6 +538,54 @@ impl<'w> World<'w> {
         }
     }
 
+    /// Schedules the in-flight task's outcome event: its response, an
+    /// environment-injected mid-round dropout partway to that response,
+    /// or the session-end departure failure. On the env-off arm the
+    /// response time is untouched and no drop draw happens.
+    fn push_task_outcome(
+        &mut self,
+        job: JobId,
+        epoch: u32,
+        device: usize,
+        mut response_ms: u64,
+        now: SimTime,
+        session_end: SimTime,
+    ) {
+        if let Some(env) = &self.env {
+            response_ms = env.stretch(device, response_ms);
+        }
+        if now + response_ms > session_end {
+            self.queue
+                .push(session_end, EventKind::AssignFailure { job, epoch, device });
+            return;
+        }
+        let drop = match self.env.as_mut() {
+            Some(env) => env.sample_drop(device),
+            None => None,
+        };
+        match drop {
+            Some(frac) => {
+                // The participant's network tier drops it mid-round: an
+                // `AssignFailure` lands partway to the would-be response,
+                // and the existing quorum/abort machinery arbitrates.
+                let lead = ((response_ms as f64 * frac) as u64)
+                    .clamp(1, response_ms.saturating_sub(1).max(1));
+                self.result.env.dropouts += 1;
+                self.queue
+                    .push(now + lead, EventKind::AssignFailure { job, epoch, device });
+            }
+            None => self.queue.push(
+                now + response_ms,
+                EventKind::Response {
+                    job,
+                    epoch,
+                    device,
+                    response_ms,
+                },
+            ),
+        }
+    }
+
     /// `HoldExpire`: a held (allocated but not yet computing) device's
     /// session ended — release it and return its demand.
     fn handle_hold_expire(
@@ -510,20 +593,43 @@ impl<'w> World<'w> {
         job: JobId,
         epoch: u32,
         device: usize,
+        hold_seq: u64,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+    ) {
+        if !self.devices.hold_is_current(device, hold_seq) {
+            // The hold this expiry belonged to is gone — released early
+            // by an environment fault, or superseded by a newer hold.
+            return;
+        }
+        let j = self.jobs.get(job.as_u64() as usize);
+        if j.phase == JobPhase::Allocating && j.epoch_is(epoch) {
+            self.release_hold(job.as_u64() as usize, device, now, scheduler);
+        }
+    }
+
+    /// Releases one device held by `job_idx` and returns its demand unit
+    /// — shared by the hold expiry and the early (environment-fault)
+    /// release. O(1) via the held-slot index; the tombstone keeps later
+    /// holds (and thus the round-start RNG draw order) in place.
+    fn release_hold(
+        &mut self,
+        job_idx: usize,
+        device: usize,
         now: SimTime,
         scheduler: &mut dyn Scheduler,
     ) {
         let slot = self.devices.held_slot(device);
-        let j = self.jobs.get_mut(job.as_u64() as usize);
-        if j.phase == JobPhase::Allocating && j.epoch_is(epoch) {
-            // Device departed while held: release and re-demand. O(1) via
-            // the held-slot index; the tombstone keeps later holds (and
-            // thus the round-start RNG draw order) in place.
-            j.assigned = j.assigned.saturating_sub(1);
-            j.release_held(slot, device);
-            self.devices.release(device);
-            scheduler.add_demand(job, 1, now);
-        }
+        let j = self.jobs.get_mut(job_idx);
+        debug_assert_eq!(
+            j.phase,
+            JobPhase::Allocating,
+            "holds only exist during allocation"
+        );
+        j.assigned = j.assigned.saturating_sub(1);
+        j.release_held(slot, device);
+        self.devices.release(device);
+        scheduler.add_demand(JobId::new(job_idx as u64), 1, now);
     }
 
     /// `Response`: a device reports back; the round completes when the
@@ -539,6 +645,13 @@ impl<'w> World<'w> {
         scheduler: &mut dyn Scheduler,
         observers: &mut [&mut dyn SimObserver],
     ) {
+        if self.devices.take_failed_task(device) {
+            // The device was forced offline mid-computation by an
+            // environment fault: its report never arrives — account the
+            // in-flight task as a failed assignment instead.
+            self.handle_assign_failure(job, epoch, device, now, scheduler);
+            return;
+        }
         self.devices.release(device);
         let job_idx = job.as_u64() as usize;
         let async_mode = self.config.async_mode;
@@ -554,6 +667,11 @@ impl<'w> World<'w> {
         j.responses += 1;
         j.participants.push(device);
         let responses = j.responses;
+        if let Some(env) = &self.env {
+            self.result
+                .env
+                .record_response(env.tier_of(device), response_ms);
+        }
         scheduler.on_response(job, self.devices.info(device), response_ms, now);
         let demand = self.workload.jobs[job_idx].demand;
         if responses >= self.config.quorum_target(demand) {
@@ -572,6 +690,9 @@ impl<'w> World<'w> {
         now: SimTime,
         scheduler: &mut dyn Scheduler,
     ) {
+        // Clear any forced-offline flag so it cannot leak into the
+        // device's next task (no-op on the env-off arm).
+        self.devices.take_failed_task(device);
         self.devices.release(device);
         self.result.failures += 1;
         if self.config.async_mode {
@@ -594,20 +715,73 @@ impl<'w> World<'w> {
         observers: &mut [&mut dyn SimObserver],
     ) {
         let job_idx = job.as_u64() as usize;
-        let async_mode = self.config.async_mode;
-        let j = self.jobs.get_mut(job_idx);
-        let armed = if async_mode {
+        if !self.round_abortable(job_idx, epoch) {
+            return;
+        }
+        self.abort_round(job_idx, now, scheduler, observers);
+    }
+
+    /// Whether the deadline event is still armed: a computing round
+    /// synchronously, a computing round or an open request
+    /// asynchronously — for the round incarnation the event was armed
+    /// for.
+    fn round_abortable(&self, job_idx: usize, epoch: u32) -> bool {
+        let j = self.jobs.get(job_idx);
+        let armed = if self.config.async_mode {
             j.phase == JobPhase::Running || j.phase == JobPhase::Allocating
         } else {
             j.phase == JobPhase::Running
         };
-        if !armed || !j.epoch_is(epoch) {
-            return;
-        }
-        if j.phase == JobPhase::Allocating {
+        armed && j.epoch_is(epoch)
+    }
+
+    /// Whether an abort storm can strike the job right now: any round in
+    /// flight — computing *or* still allocating (a storm models a
+    /// coordinator-side abort, which can kill an open request; the
+    /// deadline, by contrast, is only ever armed per
+    /// [`round_abortable`](Self::round_abortable)).
+    fn storm_abortable(&self, job_idx: usize) -> bool {
+        matches!(
+            self.jobs.get(job_idx).phase,
+            JobPhase::Running | JobPhase::Allocating
+        )
+    }
+
+    /// Aborts the job's current round and schedules its retry — the
+    /// shared tail of a deadline miss and an abort-storm strike. The
+    /// caller must have checked [`round_abortable`](Self::round_abortable)
+    /// (or [`storm_abortable`](Self::storm_abortable)).
+    fn abort_round(
+        &mut self,
+        job_idx: usize,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        let job = JobId::new(job_idx as u64);
+        if self.jobs.get(job_idx).phase == JobPhase::Allocating {
             scheduler.withdraw(job, now);
+            // Free devices still held by the aborted request — reachable
+            // only via a sync-mode storm strike (deadline aborts never
+            // find holds: sync deadlines arm at round start, async mode
+            // holds nothing). The holds' pending expiries are retired by
+            // the hold-generation guard. Assignment ended each device's
+            // poll chain, so the release must also return it to the poll
+            // loop — otherwise it would sit online, idle, and invisible
+            // to every scheduler until its next session.
+            let held: Vec<usize> = self.jobs.get(job_idx).held_devices().collect();
+            for device in held {
+                self.devices.release(device);
+                let next = now + self.config.repoll_ms;
+                if next < self.devices.session_end(device) {
+                    self.queue.push(next, EventKind::CheckIn { device });
+                }
+            }
         }
         self.result.aborted_rounds += 1;
+        if self.env.is_some() {
+            self.result.env.retries += 1;
+        }
         let j = self.jobs.get_mut(job_idx);
         j.record.rounds_aborted += 1;
         j.phase = JobPhase::Idle;
@@ -619,6 +793,81 @@ impl<'w> World<'w> {
         );
         for o in observers.iter_mut() {
             o.on_round_abort(now, job_idx, round);
+        }
+    }
+
+    /// `EnvDisturbance`: a scheduled environment disturbance fires.
+    ///
+    /// Victim draws come from the environment's own streams in fixed
+    /// device/job index order, so disturbances are reproducible per seed
+    /// and never touch the kernel's response-noise RNG.
+    fn handle_env_disturbance(
+        &mut self,
+        env_idx: usize,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        let Some(disturbance) = self.env.as_ref().map(|e| e.disturbance(env_idx)) else {
+            return;
+        };
+        match disturbance {
+            Disturbance::MassOffline { frac } => {
+                for device in 0..self.devices.len() {
+                    if now >= self.devices.session_end(device) {
+                        continue; // offline devices are not drawn for
+                    }
+                    if self
+                        .env
+                        .as_mut()
+                        .expect("env present")
+                        .mass_offline_hits(frac)
+                    {
+                        self.force_device_offline(device, now, scheduler);
+                    }
+                }
+            }
+            Disturbance::DeviceFail { device } => {
+                if device < self.devices.len() && now < self.devices.session_end(device) {
+                    self.force_device_offline(device, now, scheduler);
+                }
+            }
+            Disturbance::AbortStorm { prob } => {
+                for job_idx in 0..self.jobs.len() {
+                    if !self.storm_abortable(job_idx) {
+                        continue; // idle/finished jobs are not drawn for
+                    }
+                    if self.env.as_mut().expect("env present").storm_hits(prob) {
+                        self.result.env.storm_aborts += 1;
+                        self.abort_round(job_idx, now, scheduler, observers);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forces one online device offline (mass-offline victim or scripted
+    /// fault): its session ends now; a held device is released back to
+    /// its job's demand (exactly what its hold expiry would have done,
+    /// just early — the hold-generation guard retires the stale expiry);
+    /// a computing device's in-flight response is flagged to arrive as a
+    /// failure.
+    fn force_device_offline(&mut self, device: usize, now: SimTime, scheduler: &mut dyn Scheduler) {
+        self.result.env.forced_offline += 1;
+        let (was_held, was_computing, held_job) = {
+            let d = self.devices.get(device);
+            (d.busy && d.held, d.busy && !d.held, d.held_job)
+        };
+        self.devices.force_offline(device, now);
+        if was_held {
+            self.release_hold(held_job, device, now, scheduler);
+            // Demand reopened without a `submit`: wake parked pollers so
+            // the gated arm keeps matching the un-gated reference.
+            if !self.parked.is_empty() {
+                self.wake_parked();
+            }
+        } else if was_computing {
+            self.devices.mark_failed_task(device);
         }
     }
 

@@ -24,9 +24,11 @@ pub mod capacity;
 pub mod dist;
 pub mod io;
 pub mod jobs;
+pub mod scenario;
 pub mod workload;
 
 pub use availability::{AvailabilityModel, Session};
 pub use capacity::{CapacityModel, DeviceProfile};
 pub use jobs::{JobDemandModel, JobPlan};
+pub use scenario::ScenarioPreset;
 pub use workload::{BiasKind, Workload, WorkloadKind};

@@ -1,6 +1,6 @@
 //! Facade crate re-exporting the whole Venn workspace under one name.
 //!
-//! The reproduction is split into eight focused crates (see
+//! The reproduction is split into nine focused crates (see
 //! `ARCHITECTURE.md` at the repository root for the full map):
 //!
 //! * [`core`] — the `Scheduler` trait, the incremental `VennScheduler`,
@@ -8,6 +8,9 @@
 //!   and the fairness knob;
 //! * [`sim`] — the deterministic event-driven `World` simulator with
 //!   pluggable `SimObserver`s;
+//! * [`mod@env`] — deterministic environment dynamics: churn, flash crowds,
+//!   straggler/network tiers, and fault-injection plans on split RNG
+//!   streams;
 //! * [`traces`] — synthetic availability / capacity / workload models
 //!   calibrated to the paper's figures;
 //! * [`baselines`] — the Random / FIFO / SRSF reference schedulers;
@@ -35,6 +38,7 @@
 pub use venn_baselines as baselines;
 pub use venn_bench as bench;
 pub use venn_core as core;
+pub use venn_env as env;
 pub use venn_fl as fl;
 pub use venn_metrics as metrics;
 pub use venn_opt as opt;

@@ -1,0 +1,338 @@
+//! The `venn-env` subsystem's two headline guarantees:
+//!
+//! 1. **Env-off parity** — with `--env off` (the default) the kernel is
+//!    bit-identical to the pre-environment kernel: replaying the
+//!    committed `BENCH_BASELINE.json` matrix reproduces every
+//!    deterministic field byte for byte.
+//! 2. **Per-seed reproducibility of every preset** — the three new
+//!    scenario presets run for every `SchedKind` across seeds with
+//!    run-to-run identical results, on both kernel perf arms (gating
+//!    on/off, wheel/heap queue).
+//!
+//! Plus the quorum/abort edge case of the new mid-round dropout path: a
+//! round whose dropouts land the report count exactly on the 80 % quorum
+//! boundary succeeds, while one more dropout aborts it.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use venn::bench::{baseline_rows, diff_rows, parse_baseline, run_baseline, Experiment, SchedKind};
+use venn::core::{JobId, SimTime, SpecCategory, VennConfig, MINUTE_MS};
+use venn::env::{DeviceFault, EnvConfig, EnvPreset};
+use venn::sim::{
+    AssignmentLog, EventKind, QueueKind, RoundRecorder, SimConfig, SimObserver, SimResult,
+    Simulation,
+};
+use venn::traces::{JobDemandModel, JobPlan, Workload, WorkloadKind};
+
+const PRESETS: [EnvPreset; 3] = [
+    EnvPreset::FlashCrowd,
+    EnvPreset::StragglerHeavy,
+    EnvPreset::MassDropout,
+];
+
+/// The same small-but-contended experiment the incremental parity
+/// harness uses, with a scenario preset applied.
+fn experiment(seed: u64, env: EnvPreset) -> Experiment {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let workload = Workload::generate(
+        WorkloadKind::Even,
+        None,
+        6,
+        &JobDemandModel {
+            rounds_mean: 3.0,
+            rounds_max: 5,
+            demand_mean: 10.0,
+            demand_max: 20,
+            ..JobDemandModel::default()
+        },
+        10.0 * MINUTE_MS as f64,
+        &mut rng,
+    );
+    Experiment {
+        sim: SimConfig {
+            population: 400,
+            days: 2,
+            seed,
+            env: env.config(),
+            ..SimConfig::default()
+        },
+        workload,
+    }
+}
+
+fn every_sched_kind() -> Vec<SchedKind> {
+    vec![
+        SchedKind::Random,
+        SchedKind::Fifo,
+        SchedKind::Srsf,
+        SchedKind::Venn,
+        SchedKind::VennWoSched,
+        SchedKind::VennWoMatch,
+        SchedKind::VennWith(VennConfig::with_fairness(2.0)),
+        SchedKind::VennWith(VennConfig {
+            use_steal: false,
+            ..VennConfig::default()
+        }),
+    ]
+}
+
+fn run_logged(exp: &Experiment, kind: SchedKind) -> (SimResult, AssignmentLog) {
+    let mut sched = kind.build(exp.sim.seed ^ 0xA5A5);
+    let mut log = AssignmentLog::default();
+    let result = Simulation::new(exp.sim).run_observed(&exp.workload, &mut *sched, &mut [&mut log]);
+    (result, log)
+}
+
+/// Replaying the committed benchmark baseline with the environment
+/// subsystem compiled in (but off) must reproduce every deterministic
+/// field byte for byte — the env-off arm is the pre-environment kernel.
+#[test]
+fn env_off_reproduces_the_committed_baseline_exactly() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_BASELINE.json");
+    let text = std::fs::read_to_string(path).expect("committed baseline present");
+    let (seed, committed) = parse_baseline(&text).expect("committed baseline parses");
+    let (_, runs) = run_baseline(seed, QueueKind::Wheel, true, EnvPreset::Off);
+    let fresh = baseline_rows(&runs);
+    assert_eq!(committed.len(), fresh.len(), "scheduler row count");
+    for (c, f) in committed.iter().zip(&fresh) {
+        let drift = diff_rows(c, f);
+        assert!(drift.is_empty(), "{}: {drift:?}", c.name);
+    }
+    for r in &runs {
+        assert!(
+            r.result.env.is_empty(),
+            "env-off runs must carry no env telemetry"
+        );
+    }
+}
+
+/// Every new preset runs for every `SchedKind` across two seeds with
+/// run-to-run identical results — scenarios replay bit for bit per seed.
+#[test]
+fn presets_replay_identically_for_every_sched_kind() {
+    for preset in PRESETS {
+        for seed in [101u64, 102] {
+            let exp = experiment(seed, preset);
+            for kind in every_sched_kind() {
+                let (ra, la) = run_logged(&exp, kind);
+                let (rb, lb) = run_logged(&exp, kind);
+                assert_eq!(
+                    la.assignments, lb.assignments,
+                    "{preset:?} {kind:?} seed {seed}: assignment streams diverged"
+                );
+                assert_eq!(ra.records, rb.records, "{preset:?} {kind:?} seed {seed}");
+                assert_eq!(ra.events, rb.events, "{preset:?} {kind:?} seed {seed}");
+                assert_eq!(ra.failures, rb.failures, "{preset:?} {kind:?} seed {seed}");
+                assert_eq!(ra.env, rb.env, "{preset:?} {kind:?} seed {seed}");
+                assert_eq!(
+                    ra.records.len(),
+                    exp.workload.jobs.len(),
+                    "{preset:?} {kind:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The kernel's perf arms stay pure cost optimizations under every
+/// preset: gating off and the heap queue reproduce the default arm's
+/// assignment streams and results while the environment is injecting
+/// churn, stragglers, and faults.
+#[test]
+fn gating_and_queue_arms_stay_identical_under_env_presets() {
+    for preset in PRESETS {
+        let exp = experiment(103, preset);
+        for kind in [SchedKind::Random, SchedKind::Srsf, SchedKind::Venn] {
+            let (r_def, log_def) = run_logged(&exp, kind);
+            let ungated = Experiment {
+                sim: SimConfig {
+                    demand_gating: false,
+                    ..exp.sim
+                },
+                workload: exp.workload.clone(),
+            };
+            let heap = Experiment {
+                sim: SimConfig {
+                    queue: QueueKind::Heap,
+                    ..exp.sim
+                },
+                workload: exp.workload.clone(),
+            };
+            let (r_ungated, log_ungated) = run_logged(&ungated, kind);
+            let (r_heap, log_heap) = run_logged(&heap, kind);
+            for (label, r, log) in [
+                ("gating-off", &r_ungated, &log_ungated),
+                ("heap-queue", &r_heap, &log_heap),
+            ] {
+                assert_eq!(
+                    log_def.assignments, log.assignments,
+                    "{preset:?} {kind:?} vs {label}: assignment streams diverged"
+                );
+                assert_eq!(r_def.records, r.records, "{preset:?} {kind:?} vs {label}");
+                assert_eq!(r_def.failures, r.failures, "{preset:?} {kind:?} vs {label}");
+                assert_eq!(r_def.env, r.env, "{preset:?} {kind:?} vs {label}");
+            }
+            assert_eq!(r_def.events, r_heap.events, "{preset:?} {kind:?}");
+            assert!(
+                r_def.events <= r_ungated.events,
+                "{preset:?} {kind:?}: gating may only remove events"
+            );
+        }
+    }
+}
+
+/// The environment must actually perturb runs: a flash crowd injects
+/// supply, stragglers stretch responses, mass dropouts force devices
+/// offline.
+#[test]
+fn presets_visibly_perturb_the_run() {
+    let off = run_logged(&experiment(104, EnvPreset::Off), SchedKind::Fifo).0;
+    assert!(off.env.is_empty());
+    let crowd = run_logged(&experiment(104, EnvPreset::FlashCrowd), SchedKind::Fifo).0;
+    assert_ne!(
+        off.events, crowd.events,
+        "flash-crowd sessions must change the event stream"
+    );
+    let straggler = run_logged(&experiment(104, EnvPreset::StragglerHeavy), SchedKind::Fifo).0;
+    assert_eq!(straggler.env.tier_response_ms.len(), 4);
+    assert!(
+        straggler
+            .env
+            .tier_response_ms
+            .iter()
+            .map(|h| h.total())
+            .sum::<u64>()
+            > 0,
+        "tier histograms must fill"
+    );
+    let dropout = run_logged(&experiment(104, EnvPreset::MassDropout), SchedKind::Fifo).0;
+    assert!(
+        dropout.env.forced_offline > 0,
+        "mass-offline waves must claim victims: {:?}",
+        dropout.env
+    );
+}
+
+// --- the quorum/abort boundary of the mid-round dropout path ------------
+
+/// Captures round starts and the `Response` events of round 0 of job 0.
+#[derive(Default)]
+struct RoundZeroTrace {
+    round_start: Option<SimTime>,
+    responses: Vec<(SimTime, usize)>,
+}
+
+impl SimObserver for RoundZeroTrace {
+    fn on_event(&mut self, now: SimTime, kind: &EventKind) {
+        if let EventKind::Response {
+            job,
+            epoch: 0,
+            device,
+            ..
+        } = kind
+        {
+            if job.as_u64() == 0 {
+                self.responses.push((now, *device));
+            }
+        }
+    }
+
+    fn on_round_start(&mut self, now: SimTime, job_idx: usize, round: u32) {
+        if job_idx == 0 && round == 0 {
+            self.round_start = Some(now);
+        }
+    }
+}
+
+fn boundary_workload() -> Workload {
+    Workload {
+        jobs: vec![JobPlan {
+            id: JobId::new(0),
+            arrival_ms: 1_000,
+            category: SpecCategory::General,
+            rounds: 1,
+            demand: 5,
+            task_ms: 30_000,
+        }],
+    }
+}
+
+fn run_with_faults(w: &Workload, faults: &'static [DeviceFault]) -> (SimResult, RoundRecorder) {
+    let config = SimConfig {
+        env: EnvConfig {
+            faults,
+            ..EnvConfig::neutral()
+        },
+        ..SimConfig::small()
+    };
+    let mut sched = venn::baselines::BaselineScheduler::fifo();
+    let mut rounds = RoundRecorder::default();
+    let result = Simulation::new(config).run_observed(w, &mut sched, &mut [&mut rounds]);
+    (result, rounds)
+}
+
+/// Demand 5 at the paper's 80 % quorum needs exactly 4 reports. Dropping
+/// the round's slowest participant mid-round leaves the count exactly
+/// *on* the boundary — the round must succeed; dropping the two slowest
+/// leaves it one short — the round must abort at its deadline.
+#[test]
+fn dropouts_on_the_quorum_boundary_succeed_one_fewer_aborts() {
+    let w = boundary_workload();
+    let config = SimConfig::small();
+    assert_eq!(config.quorum_target(5), 4, "80 % of 5 is exactly 4 reports");
+
+    // Observe the untouched round: when it starts and when each of the
+    // five participants would report.
+    let mut sched = venn::baselines::BaselineScheduler::fifo();
+    let mut trace = RoundZeroTrace::default();
+    let off = Simulation::new(config).run_observed(&w, &mut sched, &mut [&mut trace]);
+    assert!(off.completion_rate() > 0.99, "{:?}", off.records);
+    assert_eq!(off.aborted_rounds, 0);
+    let t0 = trace.round_start.expect("round 0 started");
+    let mut responses = trace.responses.clone();
+    assert_eq!(responses.len(), 5, "all five responses fire (stale or not)");
+    responses.sort_unstable();
+
+    // Exactly on the boundary: kill the slowest participant mid-round.
+    let (t_last, slowest) = responses[4];
+    assert!(t_last > t0 + 1, "response must land after the round starts");
+    let one: &'static [DeviceFault] = Box::leak(Box::new([DeviceFault {
+        at_ms: t_last - 1,
+        device: slowest,
+    }]));
+    let (on_boundary, rounds) = run_with_faults(&w, one);
+    assert_eq!(on_boundary.env.forced_offline, 1);
+    assert_eq!(
+        on_boundary.aborted_rounds, 0,
+        "4 of 5 reports is exactly the quorum — the round must succeed"
+    );
+    assert_eq!(on_boundary.records[0].rounds_completed, 1);
+    assert_eq!(
+        rounds.rounds[0].participants.len(),
+        4,
+        "exactly the quorum reported"
+    );
+
+    // One fewer: kill the two slowest before either reports.
+    let (t_fourth, fourth) = responses[3];
+    assert!(t_fourth > t0 + 1);
+    let two: &'static [DeviceFault] = Box::leak(Box::new([
+        DeviceFault {
+            at_ms: t_fourth - 1,
+            device: fourth,
+        },
+        DeviceFault {
+            at_ms: t_fourth - 1,
+            device: slowest,
+        },
+    ]));
+    let (below, _) = run_with_faults(&w, two);
+    assert_eq!(below.env.forced_offline, 2);
+    assert!(
+        below.records[0].rounds_aborted >= 1,
+        "3 of 5 reports misses the quorum — the round must abort: {:?}",
+        below.records
+    );
+    assert!(below.aborted_rounds >= 1);
+}

@@ -91,12 +91,82 @@ fn assert_equivalent(ops: &[Op]) {
     }
 }
 
+/// The top wheel tier covers `256^4` ms from the cursor; deltas at and
+/// just past this horizon decide between tier 3 and the overflow heap.
+const TOP_TIER_HORIZON: u64 = 1 << 32;
+
+/// Deltas pinned to the overflow-tier boundary: exactly at the top
+/// tier's horizon, a few ms either side, and whole multiples of it (so
+/// epoch-by-epoch overflow re-entry is exercised too), mixed with small
+/// deltas that keep the cursor moving between boundary pushes.
+fn boundary_delta() -> impl Strategy<Value = u64> {
+    (0u32..6u32, 0u64..4u64).prop_map(|(which, units)| match which {
+        0 => TOP_TIER_HORIZON - 1 - units,
+        1 => TOP_TIER_HORIZON,
+        2 => TOP_TIER_HORIZON + 1 + units,
+        3 => (units + 1) * TOP_TIER_HORIZON,
+        4 => (units + 1) * TOP_TIER_HORIZON + units,
+        _ => 1 + units,
+    })
+}
+
+fn boundary_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0u32..2, boundary_delta(), 1u8..6).prop_map(|(which, delta, count)| {
+            if which == 0 {
+                Op::Push { delta, count }
+            } else {
+                Op::Pop { count }
+            }
+        }),
+        1..80,
+    )
+}
+
 proptest! {
     /// Random push/pop interleavings across all tiers pop identically.
     #[test]
     fn wheel_matches_heap_on_random_interleavings(ops in ops()) {
         assert_equivalent(&ops);
     }
+
+    /// Events pushed exactly at and just past the top tier's horizon —
+    /// the tier-3/overflow boundary — must pop in `(time, seq)` order
+    /// identical to the heap arm.
+    #[test]
+    fn overflow_tier_boundary_matches_heap(ops in boundary_ops()) {
+        assert_equivalent(&ops);
+    }
+}
+
+#[test]
+fn pushes_straddling_the_top_tier_horizon_pop_in_order() {
+    // Deterministic pin of the exact boundary: one event in the last
+    // millisecond tier 3 covers, one exactly at the horizon (the first
+    // overflow event), one just past it, plus same-tick ties on each
+    // side of the edge.
+    let ops = [
+        Op::Push {
+            delta: TOP_TIER_HORIZON - 1,
+            count: 2,
+        },
+        Op::Push {
+            delta: TOP_TIER_HORIZON,
+            count: 2,
+        },
+        Op::Push {
+            delta: TOP_TIER_HORIZON + 1,
+            count: 2,
+        },
+        Op::Pop { count: 3 },
+        // Mid-drain, push at the boundary relative to the new cursor.
+        Op::Push {
+            delta: TOP_TIER_HORIZON,
+            count: 1,
+        },
+        Op::Pop { count: 200 },
+    ];
+    assert_equivalent(&ops);
 }
 
 #[test]
