@@ -26,12 +26,10 @@
 //! assert_eq!(srsf.assign(&d, 1), Some(JobId::new(2)));
 //! ```
 
-use std::collections::HashMap;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use venn_core::{DeviceInfo, JobId, Request, Scheduler, SimTime};
+use venn_core::{DeviceInfo, JobId, JobIdIndex, JobSlot, Request, Scheduler, SimTime, SlotMap};
 
 /// Scheduling policy of a [`BaselineScheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,13 +56,26 @@ struct Entry {
 
 /// One engine implementing all three baseline policies.
 ///
+/// Like the Venn scheduler, the request table is part of the dense data
+/// plane: entries live in a generation-checked [`SlotMap`] (freed slots are
+/// reused across withdraw/resubmit churn), the external [`JobId`] space
+/// crosses in through a direct-indexed [`JobIdIndex`], and the per-device
+/// candidate walk works over a persistent active-slot list plus a reusable
+/// sort buffer — no hashing and no allocation per `assign`.
+///
 /// Construct via [`BaselineScheduler::random_order`],
 /// [`BaselineScheduler::random_per_device`], [`BaselineScheduler::fifo`], or
 /// [`BaselineScheduler::srsf`].
 #[derive(Debug)]
 pub struct BaselineScheduler {
     policy: Policy,
-    entries: HashMap<JobId, Entry>,
+    entries: SlotMap<Entry>,
+    job_slots: JobIdIndex,
+    /// Slots with an active request, in no particular order (the candidate
+    /// sort's keys are total, so iteration order never shows).
+    active: Vec<JobSlot>,
+    /// Reused buffer for the per-device eligible-candidate sort.
+    candidates: Vec<JobSlot>,
     rng: StdRng,
     name: &'static str,
 }
@@ -73,7 +84,10 @@ impl BaselineScheduler {
     fn with_policy(policy: Policy, seed: u64, name: &'static str) -> Self {
         BaselineScheduler {
             policy,
-            entries: HashMap::new(),
+            entries: SlotMap::new(),
+            job_slots: JobIdIndex::new(),
+            active: Vec::new(),
+            candidates: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             name,
         }
@@ -103,36 +117,46 @@ impl BaselineScheduler {
 
     /// Number of jobs with an active request.
     pub fn active_jobs(&self) -> usize {
-        self.entries.len()
+        self.active.len()
     }
 
-    /// Candidate jobs for `device` ordered by the policy.
-    fn ordered_candidates(&mut self, device: &DeviceInfo) -> Vec<JobId> {
-        let mut eligible: Vec<(&JobId, &Entry)> = self
-            .entries
-            .iter()
-            .filter(|(_, e)| e.pending > 0 && e.request.spec.is_eligible(device.capacity()))
-            .collect();
+    /// The policy's winning candidate for `device`, if any.
+    ///
+    /// Fills the persistent candidate buffer with the eligible active
+    /// slots and orders it by the policy's key. Every key ends in the job
+    /// id, so the order is total and independent of the active list's
+    /// iteration order (exactly as the old hash-map walk, whose arbitrary
+    /// order the same sort keys normalized).
+    fn best_candidate(&mut self, device: &DeviceInfo) -> Option<JobSlot> {
+        let entries = &self.entries;
+        self.candidates.clear();
+        self.candidates
+            .extend(self.active.iter().copied().filter(|&slot| {
+                let e = entries.get(slot).expect("active slot is live");
+                e.pending > 0 && e.request.spec.is_eligible(device.capacity())
+            }));
+        if self.candidates.is_empty() {
+            return None;
+        }
+        let key_of = |slot: JobSlot| {
+            let e = entries.get(slot).expect("active slot is live");
+            match self.policy {
+                // Determinism before sampling.
+                Policy::RandomPerDevice => (0, 0, e.request.job),
+                Policy::RandomOrder => (e.lottery, 0, e.request.job),
+                Policy::Fifo => (e.submit_time, 0, e.request.job),
+                Policy::Srsf => (e.request.total_remaining, e.submit_time, e.request.job),
+            }
+        };
         match self.policy {
             Policy::RandomPerDevice => {
-                if eligible.is_empty() {
-                    return Vec::new();
-                }
-                eligible.sort_by_key(|(id, _)| **id); // determinism before sampling
-                let pick = self.rng.gen_range(0..eligible.len());
-                return vec![*eligible[pick].0];
+                self.candidates.sort_unstable_by_key(|&slot| key_of(slot));
+                let pick = self.rng.gen_range(0..self.candidates.len());
+                Some(self.candidates[pick])
             }
-            Policy::RandomOrder => {
-                eligible.sort_by_key(|(id, e)| (e.lottery, **id));
-            }
-            Policy::Fifo => {
-                eligible.sort_by_key(|(id, e)| (e.submit_time, **id));
-            }
-            Policy::Srsf => {
-                eligible.sort_by_key(|(id, e)| (e.request.total_remaining, e.submit_time, **id));
-            }
+            // The winner is the key minimum — no need to order the rest.
+            _ => self.candidates.iter().copied().min_by_key(|&s| key_of(s)),
         }
-        eligible.into_iter().map(|(id, _)| *id).collect()
     }
 }
 
@@ -143,40 +167,66 @@ impl Scheduler for BaselineScheduler {
 
     fn submit(&mut self, request: Request, now: SimTime) {
         let lottery = self.rng.gen();
-        self.entries.insert(
-            request.job,
-            Entry {
-                pending: request.demand,
-                request,
-                submit_time: now,
-                lottery,
-            },
-        );
+        let entry = Entry {
+            pending: request.demand,
+            request,
+            submit_time: now,
+            lottery,
+        };
+        match self
+            .job_slots
+            .get(request.job)
+            .filter(|&s| self.entries.contains(s))
+        {
+            // Resubmission before withdrawal replaces the request in place.
+            Some(slot) => *self.entries.get_mut(slot).expect("slot is live") = entry,
+            None => {
+                let slot = self.entries.insert(entry);
+                self.job_slots.set(request.job, slot);
+                self.active.push(slot);
+            }
+        }
     }
 
     fn withdraw(&mut self, job: JobId, _now: SimTime) {
-        self.entries.remove(&job);
+        let Some(slot) = self.job_slots.get(job) else {
+            return;
+        };
+        if self.entries.remove(slot).is_some() {
+            self.job_slots.clear(job);
+            let pos = self
+                .active
+                .iter()
+                .position(|&s| s == slot)
+                .expect("live entry was active");
+            self.active.swap_remove(pos);
+        }
     }
 
     fn add_demand(&mut self, job: JobId, count: u32, _now: SimTime) {
-        if let Some(e) = self.entries.get_mut(&job) {
+        let Some(slot) = self.job_slots.get(job) else {
+            return;
+        };
+        if let Some(e) = self.entries.get_mut(slot) {
             e.pending = e.pending.saturating_add(count);
         }
     }
 
     fn assign(&mut self, device: &DeviceInfo, _now: SimTime) -> Option<JobId> {
-        let id = self.ordered_candidates(device).into_iter().next()?;
-        let e = self.entries.get_mut(&id).expect("candidate exists");
+        let slot = self.best_candidate(device)?;
+        let e = self.entries.get_mut(slot).expect("candidate exists");
         e.pending -= 1;
-        Some(id)
+        Some(e.request.job)
     }
 
     fn pending_demand(&self, job: JobId) -> Option<u32> {
-        self.entries.get(&job).map(|e| e.pending)
+        self.entries
+            .get(self.job_slots.get(job)?)
+            .map(|e| e.pending)
     }
 
     fn has_open_demand(&self) -> bool {
-        !self.entries.is_empty()
+        !self.active.is_empty()
     }
 
     fn observes_check_ins(&self) -> bool {

@@ -1,0 +1,113 @@
+//! Criterion bench for the scheduler data plane in isolation: the
+//! submit/check-in/assign mix, replayed against every scheduler arm.
+//!
+//! Complements `bench_queue` (pure event-queue cost) and
+//! `bench_incremental` (incremental vs full-rebuild maintenance): this
+//! target times the *scheduler side* of one dispatched check-in — the
+//! path the dense data plane (slot-indexed jobs, interned specs, sorted
+//! mask table, persistent scratch) made hash- and allocation-free.
+//!
+//! The op mix is replayed from the recorded `paper_default/even` seed-42
+//! run (BENCH_BASELINE.json): every operation is one check-in followed by
+//! an assignment attempt over a deterministic capacity sweep, assigned
+//! demand is returned straight away (the queue never drains, as in steady
+//! state), and every 64th operation fires a request-completion trigger —
+//! a withdraw + resubmission of a rotating job — matching the recorded
+//! run's ≈1.6 % share of request triggers among scheduler entry points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use venn_bench::SchedKind;
+use venn_core::{
+    Capacity, DeviceId, DeviceInfo, JobId, Request, ResourceSpec, Scheduler, SimTime, VennConfig,
+};
+
+/// Jobs resident in the scheduler during the mix (the paper's default
+/// evaluation scale).
+const JOBS: u64 = 50;
+
+/// Operations per timed batch.
+const OPS: usize = 10_000;
+
+fn spec_of(j: u64) -> ResourceSpec {
+    match j % 4 {
+        0 => ResourceSpec::any(),
+        1 => ResourceSpec::new(0.5, 0.0),
+        2 => ResourceSpec::new(0.0, 0.5),
+        _ => ResourceSpec::new(0.5, 0.5),
+    }
+}
+
+fn submit(sched: &mut dyn Scheduler, j: u64, t: SimTime) {
+    sched.submit(
+        Request::new(JobId::new(j), spec_of(j), 2 + (j % 5) as u32, 40 + j),
+        t,
+    );
+}
+
+/// Deterministic device sweep covering all four eligibility regions.
+fn dev(i: u64) -> DeviceInfo {
+    let cpu = ((i * 13) % 10) as f64 / 10.0;
+    let mem = ((i * 7) % 10) as f64 / 10.0;
+    DeviceInfo::new(DeviceId::new(10_000 + i), Capacity::new(cpu, mem))
+}
+
+/// One batch of the recorded mix; returns the advanced clock.
+fn drive(sched: &mut dyn Scheduler, mut t: SimTime, ops: usize) -> SimTime {
+    for i in 0..ops as u64 {
+        t += 1_000;
+        let d = dev(i % 997);
+        sched.on_check_in(&d, t);
+        if let Some(job) = sched.assign(&d, t) {
+            // Return the demand so the mix stays in steady state.
+            sched.add_demand(job, 1, t);
+            if i % 5 == 0 {
+                sched.on_response(job, &d, 1_000 + i, t);
+            }
+            if i % 11 == 0 {
+                sched.on_alloc_complete(job, i, t);
+            }
+        }
+        if i % 64 == 0 {
+            // Request-completion trigger: withdraw + resubmit.
+            let j = (i / 64) % JOBS;
+            sched.withdraw(JobId::new(j), t);
+            submit(sched, j, t);
+        }
+    }
+    t
+}
+
+fn arms() -> [(&'static str, SchedKind); 5] {
+    [
+        ("venn", SchedKind::Venn),
+        ("venn-full", SchedKind::VennWith(VennConfig::full_rebuild())),
+        ("random", SchedKind::Random),
+        ("fifo", SchedKind::Fifo),
+        ("srsf", SchedKind::Srsf),
+    ]
+}
+
+/// Scheduler-side cost of the steady-state mix, reported as operations
+/// (check-in + assign, triggers amortized in) per second.
+fn bench_assign_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sched_assign_mix");
+    group.throughput(Throughput::Elements(OPS as u64));
+    for (label, kind) in arms() {
+        let mut sched = kind.build(42 ^ 0xA5A5);
+        let mut t: SimTime = 0;
+        for j in 0..JOBS {
+            submit(sched.as_mut(), j, t);
+        }
+        // Warm-up: supply history, profiler rings, scratch high-water marks.
+        t = drive(sched.as_mut(), t, 3 * OPS);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            b.iter(|| {
+                t = drive(sched.as_mut(), t, OPS);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_assign_mix);
+criterion_main!(benches);

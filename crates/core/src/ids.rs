@@ -18,6 +18,11 @@ macro_rules! id_type {
             pub fn as_u64(&self) -> u64 {
                 self.0
             }
+
+            /// The id as a dense array index.
+            pub fn index(&self) -> usize {
+                self.0 as usize
+            }
         }
 
         impl fmt::Display for $name {

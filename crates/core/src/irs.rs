@@ -17,8 +17,13 @@
 //!
 //! The whole computation is `O(m log m + n² · R)` for `m` jobs, `n` groups
 //! and `R` distinct regions; with threshold specs `R ≤ n + 1` in practice.
-
-use std::collections::HashMap;
+//!
+//! The plan's owner table is a *sorted mask table* — region masks ascending
+//! with a parallel owner column — so the per-check-in owner lookup is a
+//! branch-predictable binary search over at most a few dozen `u128`s
+//! instead of a SipHash probe, and rebuilding the plan on every request
+//! arrival/completion ([`allocate_into`] with an [`IrsScratch`]) allocates
+//! nothing in steady state.
 
 use crate::supply::RegionSupply;
 
@@ -38,23 +43,48 @@ pub struct GroupSummary {
 /// The output of Algorithm 1: region ownership plus a fallback order.
 ///
 /// A device with eligibility mask `m` is offered first to
-/// `owner_of.get(&m)`, then to the remaining eligible groups in
-/// `fallback_order` (scarcest first), which maximizes utilization when the
-/// owner has no pending demand.
+/// [`owner_of(m)`](Self::owner_of), then to the remaining eligible groups
+/// in `fallback_order` (scarcest first), which maximizes utilization when
+/// the owner has no pending demand.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AllocationPlan {
-    /// Owner group index for each atomic region mask.
-    pub owner_of: HashMap<u128, usize>,
+    /// Owned atomic-region masks, ascending — the search column of the
+    /// owner table.
+    region_masks: Vec<u128>,
+    /// Owner group index of `region_masks[i]` — the payload column.
+    region_owners: Vec<u32>,
     /// All group indices ordered by ascending eligible supply (scarcest
     /// first), used to break ties and to place devices the owner declines.
     pub fallback_order: Vec<usize>,
 }
 
 impl AllocationPlan {
+    /// Owner group of the atomic region `mask`, if the region is owned —
+    /// a binary search over the sorted mask table, no hashing.
+    pub fn owner_of(&self, mask: u128) -> Option<usize> {
+        self.region_masks
+            .binary_search(&mask)
+            .ok()
+            .map(|i| self.region_owners[i] as usize)
+    }
+
+    /// Number of owned regions in the table.
+    pub fn owned_region_count(&self) -> usize {
+        self.region_masks.len()
+    }
+
+    /// The `(mask, owner)` table rows, masks ascending.
+    pub fn owned_regions(&self) -> impl Iterator<Item = (u128, usize)> + '_ {
+        self.region_masks
+            .iter()
+            .zip(&self.region_owners)
+            .map(|(&mask, &owner)| (mask, owner as usize))
+    }
+
     /// Iterator over group indices in the order a device with eligibility
     /// mask `mask` should be offered: owner first, then scarcity order.
-    pub fn offer_order<'a>(&'a self, mask: u128) -> impl Iterator<Item = usize> + 'a {
-        let owner = self.owner_of.get(&mask).copied();
+    pub fn offer_order(&self, mask: u128) -> impl Iterator<Item = usize> + '_ {
+        let owner = self.owner_of(mask);
         owner.into_iter().chain(
             self.fallback_order
                 .iter()
@@ -62,6 +92,29 @@ impl AllocationPlan {
                 .filter(move |&g| mask & (1u128 << g) != 0 && Some(g) != owner),
         )
     }
+}
+
+/// Reusable working memory for [`allocate_into`].
+///
+/// Every buffer Algorithm 1 needs lives here and is cleared — capacity
+/// retained — per invocation, so a scheduler that replans on every request
+/// arrival/completion pays zero allocations once warm.
+#[derive(Debug, Clone, Default)]
+pub struct IrsScratch {
+    /// Positions into the caller's `groups` slice, scarcity order.
+    asc: Vec<u32>,
+    /// Region indices owned per group index.
+    owned_regions: Vec<Vec<u32>>,
+    /// Allocated supply `|S'_j|` per group index.
+    alloc_supply: Vec<f64>,
+    /// Affected queue length `m'_j` per group index.
+    queue: Vec<f64>,
+    /// Per-region claimed flag for the scarcest-first seeding.
+    claimed: Vec<bool>,
+    /// Regions moved by the current steal.
+    moved: Vec<u32>,
+    /// `(mask, push sequence, owner)` rows awaiting the final sort.
+    pairs: Vec<(u128, u32, u32)>,
 }
 
 /// Runs the inter-group step of Algorithm 1.
@@ -87,78 +140,93 @@ pub fn allocate_with(
     steal: bool,
 ) -> AllocationPlan {
     let mut plan = AllocationPlan::default();
-    allocate_into(&mut plan, groups, regions, steal);
+    let mut scratch = IrsScratch::default();
+    allocate_into(&mut plan, groups, regions, steal, &mut scratch);
     plan
 }
 
-/// [`allocate_with`] writing into an existing plan — the delta-friendly
-/// entry point: callers that rebuild the plan on every request arrival and
-/// completion (the incremental [`VennScheduler`](crate::VennScheduler))
-/// reuse the plan's allocations instead of rebuilding the map each time.
+/// [`allocate_with`] writing into an existing plan through reusable
+/// working memory — the delta-friendly entry point: callers that rebuild
+/// the plan on every request arrival and completion (the incremental
+/// [`VennScheduler`](crate::VennScheduler)) reuse the plan's and scratch's
+/// allocations instead of rebuilding maps each time.
 pub fn allocate_into(
     plan: &mut AllocationPlan,
     groups: &[GroupSummary],
     regions: &[RegionSupply],
     steal: bool,
+    scratch: &mut IrsScratch,
 ) {
     for g in groups {
         assert!(g.index < 128, "group index exceeds mask width");
     }
-    plan.owner_of.clear();
+    plan.region_masks.clear();
+    plan.region_owners.clear();
     plan.fallback_order.clear();
     if groups.is_empty() {
         return;
     }
 
     // Scarcity order: ascending |S_j|, stable on index for determinism.
-    let mut asc: Vec<&GroupSummary> = groups.iter().collect();
-    asc.sort_by(|a, b| {
-        a.eligible_supply
-            .partial_cmp(&b.eligible_supply)
+    scratch.asc.clear();
+    scratch.asc.extend(0..groups.len() as u32);
+    scratch.asc.sort_unstable_by(|&a, &b| {
+        let (ga, gb) = (&groups[a as usize], &groups[b as usize]);
+        ga.eligible_supply
+            .partial_cmp(&gb.eligible_supply)
             .expect("non-finite supply")
-            .then(a.index.cmp(&b.index))
+            .then(ga.index.cmp(&gb.index))
+            .then(a.cmp(&b))
     });
-    plan.fallback_order.extend(asc.iter().map(|g| g.index));
+    plan.fallback_order
+        .extend(scratch.asc.iter().map(|&p| groups[p as usize].index));
 
     // Per-group state, indexed directly by group index (< 128).
     let slots = groups.iter().map(|g| g.index).max().unwrap_or(0) + 1;
-    let mut owned_regions: Vec<Vec<usize>> = vec![Vec::new(); slots]; // group -> region idxs
-    let mut alloc_supply = vec![0.0f64; slots]; // allocated supply |S'_j|
-    let mut queue = vec![0.0f64; slots]; // affected queue length m'_j
+    if scratch.owned_regions.len() < slots {
+        scratch.owned_regions.resize_with(slots, Vec::new);
+    }
+    for owned in &mut scratch.owned_regions[..slots] {
+        owned.clear();
+    }
+    scratch.alloc_supply.clear();
+    scratch.alloc_supply.resize(slots, 0.0);
+    scratch.queue.clear();
+    scratch.queue.resize(slots, 0.0);
     for g in groups {
-        queue[g.index] = g.queue_len;
+        scratch.queue[g.index] = g.queue_len;
     }
 
     // --- Initial allocation (Algorithm 1, lines 5-9): walk groups from the
     // scarcest and give each all still-unclaimed regions it is eligible for.
-    let mut claimed = vec![false; regions.len()];
-    for g in &asc {
+    scratch.claimed.clear();
+    scratch.claimed.resize(regions.len(), false);
+    for &p in &scratch.asc {
+        let g = &groups[p as usize];
         let bit = 1u128 << g.index;
         for (ri, region) in regions.iter().enumerate() {
-            if !claimed[ri] && region.mask & bit != 0 {
-                claimed[ri] = true;
-                owned_regions[g.index].push(ri);
-                alloc_supply[g.index] += region.rate;
+            if !scratch.claimed[ri] && region.mask & bit != 0 {
+                scratch.claimed[ri] = true;
+                scratch.owned_regions[g.index].push(ri as u32);
+                scratch.alloc_supply[g.index] += region.rate;
             }
         }
     }
 
     // --- Greedy reallocation (lines 10-23): from the most abundant group,
     // steal intersected regions from scarcer groups while the queue-pressure
-    // ratio favours it.
-    let desc: Vec<&GroupSummary> = if steal {
-        asc.iter().rev().copied().collect()
-    } else {
-        Vec::new()
-    };
-    for (pos, gj) in desc.iter().enumerate() {
+    // ratio favours it. (`asc` walked back to front is the descending order.)
+    let n = scratch.asc.len();
+    for dj in 0..if steal { n } else { 0 } {
+        let gj = &groups[scratch.asc[n - 1 - dj] as usize];
         let j = gj.index;
-        if alloc_supply[j] <= 0.0 {
+        if scratch.alloc_supply[j] <= 0.0 {
             continue; // nothing was left for this group; it cannot anchor a steal
         }
         // Victims: strictly scarcer groups whose eligible set intersects
         // G_j's, visited from the most abundant of them downwards.
-        for gk in desc[pos + 1..].iter() {
+        for dk in dj + 1..n {
+            let gk = &groups[scratch.asc[n - 1 - dk] as usize];
             let k = gk.index;
             if gk.eligible_supply >= gj.eligible_supply {
                 continue;
@@ -170,31 +238,40 @@ pub fn allocate_into(
             if !intersects {
                 continue;
             }
-            let sj = alloc_supply[j];
-            let sk = alloc_supply[k];
+            let sj = scratch.alloc_supply[j];
+            let sk = scratch.alloc_supply[k];
             let ratio_j = if sj > 0.0 {
-                queue[j] / sj
+                scratch.queue[j] / sj
             } else {
                 f64::INFINITY
             };
             let ratio_k = if sk > 0.0 {
-                queue[k] / sk
+                scratch.queue[k] / sk
             } else {
                 f64::INFINITY
             };
             if ratio_j > ratio_k && ratio_k.is_finite() {
-                // Move the regions of S'_k that G_j is eligible for.
-                let victim = std::mem::take(&mut owned_regions[k]);
-                let (moved, kept): (Vec<usize>, Vec<usize>) = victim
-                    .iter()
-                    .partition(|&&ri| regions[ri].mask & bit_j != 0);
-                owned_regions[k] = kept;
-                let moved_rate: f64 = moved.iter().map(|&ri| regions[ri].rate).sum();
-                owned_regions[j].extend(moved);
-                alloc_supply[j] += moved_rate;
-                alloc_supply[k] -= moved_rate;
+                // Move the regions of S'_k that G_j is eligible for —
+                // in place: survivors keep their order, movers append to
+                // G_j in theirs (what a partition would produce).
+                let mut victim = std::mem::take(&mut scratch.owned_regions[k]);
+                scratch.moved.clear();
+                let mut moved_rate = 0.0;
+                victim.retain(|&ri| {
+                    if regions[ri as usize].mask & bit_j != 0 {
+                        scratch.moved.push(ri);
+                        moved_rate += regions[ri as usize].rate;
+                        false
+                    } else {
+                        true
+                    }
+                });
+                scratch.owned_regions[k] = victim;
+                scratch.owned_regions[j].extend_from_slice(&scratch.moved);
+                scratch.alloc_supply[j] += moved_rate;
+                scratch.alloc_supply[k] -= moved_rate;
                 // The deprioritized group's jobs now queue behind G_j's.
-                queue[j] += queue[k];
+                scratch.queue[j] += scratch.queue[k];
             } else {
                 // G_j should first look to groups more abundant than G_k.
                 break;
@@ -202,9 +279,28 @@ pub fn allocate_into(
         }
     }
 
-    for (g, owned) in owned_regions.into_iter().enumerate() {
-        for ri in owned {
-            plan.owner_of.insert(regions[ri].mask, g);
+    // --- Owner table: rows pushed in group-then-region order (the order
+    // the hash map used to be written in), sorted by (mask, sequence) so
+    // duplicate-mask regions resolve to the *last* write, then compacted.
+    scratch.pairs.clear();
+    let mut seq = 0u32;
+    for (g, owned) in scratch.owned_regions[..slots].iter().enumerate() {
+        for &ri in owned {
+            scratch
+                .pairs
+                .push((regions[ri as usize].mask, seq, g as u32));
+            seq += 1;
+        }
+    }
+    scratch
+        .pairs
+        .sort_unstable_by_key(|&(mask, s, _)| (mask, s));
+    for &(mask, _, owner) in &scratch.pairs {
+        if plan.region_masks.last() == Some(&mask) {
+            *plan.region_owners.last_mut().expect("parallel columns") = owner;
+        } else {
+            plan.region_masks.push(mask);
+            plan.region_owners.push(owner);
         }
     }
 }
@@ -233,8 +329,8 @@ mod tests {
         let regions = [region(0b01, 0.7), region(0b11, 0.3)];
         let groups = [group(0, 1.0, 1.0), group(1, 0.3, 1.0)];
         let plan = allocate(&groups, &regions);
-        assert_eq!(plan.owner_of[&0b11], 1);
-        assert_eq!(plan.owner_of[&0b01], 0);
+        assert_eq!(plan.owner_of(0b11), Some(1));
+        assert_eq!(plan.owner_of(0b01), Some(0));
         assert_eq!(plan.fallback_order, vec![1, 0]);
     }
 
@@ -247,8 +343,12 @@ mod tests {
         // scarce pool. m0/s0 = 20/0.7 > m1/s1 = 1/0.3.
         let groups = [group(0, 1.0, 20.0), group(1, 0.3, 1.0)];
         let plan = allocate(&groups, &regions);
-        assert_eq!(plan.owner_of[&0b11], 0, "intersection stolen by group 0");
-        assert_eq!(plan.owner_of[&0b01], 0);
+        assert_eq!(
+            plan.owner_of(0b11),
+            Some(0),
+            "intersection stolen by group 0"
+        );
+        assert_eq!(plan.owner_of(0b01), Some(0));
     }
 
     #[test]
@@ -257,7 +357,7 @@ mod tests {
         // m0/s0 = 1/0.7 < m1/s1 = 10/0.3.
         let groups = [group(0, 1.0, 1.0), group(1, 0.3, 10.0)];
         let plan = allocate(&groups, &regions);
-        assert_eq!(plan.owner_of[&0b11], 1);
+        assert_eq!(plan.owner_of(0b11), Some(1));
     }
 
     /// Fig. 3 toy shape: Keyboard (all devices) vs two Emoji jobs (half the
@@ -268,15 +368,16 @@ mod tests {
         let keyboard = group(0, 1.0, 1.0);
         let emoji = group(1, 0.5, 2.0);
         let plan = allocate(&[keyboard, emoji], &regions);
-        assert_eq!(plan.owner_of[&0b11], 1);
-        assert_eq!(plan.owner_of[&0b01], 0);
+        assert_eq!(plan.owner_of(0b11), Some(1));
+        assert_eq!(plan.owner_of(0b01), Some(0));
     }
 
     #[test]
     fn empty_inputs_yield_empty_plan() {
         let plan = allocate(&[], &[]);
-        assert!(plan.owner_of.is_empty());
+        assert_eq!(plan.owned_region_count(), 0);
         assert!(plan.fallback_order.is_empty());
+        assert_eq!(plan.owner_of(0b1), None);
     }
 
     #[test]
@@ -290,7 +391,7 @@ mod tests {
         let groups = [group(0, 0.8, 3.0), group(1, 0.4, 1.0), group(2, 0.4, 2.0)];
         let plan = allocate(&groups, &regions);
         for r in &regions {
-            let owner = plan.owner_of.get(&r.mask).copied().expect("region owned");
+            let owner = plan.owner_of(r.mask).expect("region owned");
             assert!(r.mask & (1 << owner) != 0, "owner must be eligible");
         }
     }
@@ -312,8 +413,8 @@ mod tests {
         let regions = [region(0b01, 0.5), region(0b10, 0.1)];
         let groups = [group(0, 0.5, 100.0), group(1, 0.1, 1.0)];
         let plan = allocate(&groups, &regions);
-        assert_eq!(plan.owner_of[&0b10], 1);
-        assert_eq!(plan.owner_of[&0b01], 0);
+        assert_eq!(plan.owner_of(0b10), Some(1));
+        assert_eq!(plan.owner_of(0b01), Some(0));
     }
 
     #[test]
@@ -322,9 +423,9 @@ mod tests {
         let regions = [region(0b001, 0.5), region(0b011, 0.3), region(0b111, 0.2)];
         let groups = [group(0, 1.0, 1.0), group(1, 0.5, 1.0), group(2, 0.2, 1.0)];
         let plan = allocate(&groups, &regions);
-        assert_eq!(plan.owner_of[&0b111], 2);
-        assert_eq!(plan.owner_of[&0b011], 1);
-        assert_eq!(plan.owner_of[&0b001], 0);
+        assert_eq!(plan.owner_of(0b111), Some(2));
+        assert_eq!(plan.owner_of(0b011), Some(1));
+        assert_eq!(plan.owner_of(0b001), Some(0));
     }
 
     #[test]
@@ -334,9 +435,9 @@ mod tests {
         let groups = [group(0, 1.0, 20.0), group(1, 0.3, 1.0)];
         let no_steal = allocate_with(&groups, &regions, false);
         // ...is ignored: the scarce group keeps its region.
-        assert_eq!(no_steal.owner_of[&0b11], 1);
+        assert_eq!(no_steal.owner_of(0b11), Some(1));
         let with_steal = allocate_with(&groups, &regions, true);
-        assert_eq!(with_steal.owner_of[&0b11], 0);
+        assert_eq!(with_steal.owner_of(0b11), Some(0));
     }
 
     #[test]
@@ -344,16 +445,18 @@ mod tests {
         let regions = [region(0b01, 0.7), region(0b11, 0.3)];
         let groups = [group(0, 1.0, 20.0), group(1, 0.3, 1.0)];
         let mut plan = AllocationPlan::default();
+        let mut scratch = IrsScratch::default();
         // Pre-populate with unrelated state that must be fully replaced.
         allocate_into(
             &mut plan,
             &[group(5, 1.0, 1.0)],
             &[region(0b100000, 1.0)],
             true,
+            &mut scratch,
         );
-        allocate_into(&mut plan, &groups, &regions, true);
+        allocate_into(&mut plan, &groups, &regions, true, &mut scratch);
         assert_eq!(plan, allocate(&groups, &regions));
-        allocate_into(&mut plan, &[], &[], true);
+        allocate_into(&mut plan, &[], &[], true, &mut scratch);
         assert_eq!(plan, AllocationPlan::default());
     }
 
@@ -362,6 +465,23 @@ mod tests {
         let regions = [region(0b01, 1.0)]; // nothing eligible for group 1
         let groups = [group(0, 1.0, 1.0), group(1, 0.0, 50.0)];
         let plan = allocate(&groups, &regions);
-        assert_eq!(plan.owner_of[&0b01], 0);
+        assert_eq!(plan.owner_of(0b01), Some(0));
+    }
+
+    #[test]
+    fn duplicate_region_masks_resolve_to_the_last_writer() {
+        // Two regions with the same mask can end up owned by different
+        // groups; the owner table keeps whichever was written last in
+        // group-then-region order — exactly what the old hash-map insert
+        // loop produced.
+        let regions = [region(0b11, 0.4), region(0b11, 0.4), region(0b01, 0.2)];
+        let groups = [group(0, 1.0, 1.0), group(1, 0.8, 1.0)];
+        let plan = allocate(&groups, &regions);
+        assert_eq!(plan.owned_region_count(), 2);
+        let rows: Vec<(u128, usize)> = plan.owned_regions().collect();
+        assert_eq!(rows[0].0, 0b01);
+        assert_eq!(rows[1].0, 0b11);
+        // And the table stays mask-sorted for the binary search.
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
     }
 }

@@ -42,20 +42,24 @@ pub mod device;
 pub mod fairness;
 pub mod forecast;
 pub mod ids;
+pub mod intern;
 pub mod irs;
 pub mod matching;
 pub mod request;
 pub mod resource;
 pub mod scheduler;
+pub mod slotmap;
 pub mod supply;
 pub mod venn;
 
 pub use config::VennConfig;
 pub use device::DeviceInfo;
 pub use ids::{DeviceId, GroupId, JobId};
+pub use intern::SpecInterner;
 pub use request::Request;
 pub use resource::{Capacity, CategoryThresholds, ResourceSpec, SpecCategory};
 pub use scheduler::Scheduler;
+pub use slotmap::{JobIdIndex, JobSlot, SlotMap};
 pub use supply::SupplyEstimator;
 pub use venn::VennScheduler;
 

@@ -36,6 +36,11 @@ pub struct TierProfiler {
     cursor_scores: usize,
     cursor_resp: usize,
     cursor_delay: usize,
+    /// Reused sort buffer for the percentile computations on the
+    /// per-submit decision path — no allocation once warm.
+    sort_scratch: Vec<f64>,
+    /// Reused tier-edge buffer for [`decide_tier`].
+    edges_scratch: Vec<f64>,
 }
 
 impl Default for TierProfiler {
@@ -60,14 +65,19 @@ impl TierProfiler {
     /// Panics if `cap` is zero.
     pub fn with_capacity(cap: usize) -> Self {
         assert!(cap > 0, "profiler capacity must be positive");
+        // The rings are bounded at `cap` anyway; reserving them up front
+        // keeps every later record/percentile strictly allocation-free
+        // (the sort scratch's high-water mark is one full ring).
         TierProfiler {
-            scores: Vec::new(),
-            responses: Vec::new(),
-            sched_delays: Vec::new(),
+            scores: Vec::with_capacity(cap),
+            responses: Vec::with_capacity(cap),
+            sched_delays: Vec::with_capacity(cap),
             cap,
             cursor_scores: 0,
             cursor_resp: 0,
             cursor_delay: 0,
+            sort_scratch: Vec::with_capacity(cap),
+            edges_scratch: Vec::new(),
         }
     }
 
@@ -123,15 +133,26 @@ impl TierProfiler {
     ///
     /// Panics if `v == 0`.
     pub fn tier_edges(&self, v: usize) -> Vec<f64> {
+        let mut edges = Vec::new();
+        Self::fill_tier_edges(&mut edges, &mut Vec::new(), &self.scores, v);
+        edges
+    }
+
+    /// The one edge computation both the allocating [`tier_edges`] and the
+    /// scratch-backed decision path run; `sort` is the score sort buffer.
+    ///
+    /// [`tier_edges`]: Self::tier_edges
+    fn fill_tier_edges(edges: &mut Vec<f64>, sort: &mut Vec<f64>, scores: &[f64], v: usize) {
         assert!(v > 0, "tier count must be positive");
-        let mut edges = Vec::with_capacity(v + 1);
+        edges.clear();
         edges.push(f64::NEG_INFINITY);
-        if v > 1 && !self.scores.is_empty() {
-            let mut sorted = self.scores.clone();
-            sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite score"));
+        if v > 1 && !scores.is_empty() {
+            sort.clear();
+            sort.extend_from_slice(scores);
+            sort.sort_unstable_by(|a, b| a.partial_cmp(b).expect("non-finite score"));
             for i in 1..v {
-                let rank = (i as f64 / v as f64 * (sorted.len() - 1) as f64).round() as usize;
-                edges.push(sorted[rank]);
+                let rank = (i as f64 / v as f64 * (sort.len() - 1) as f64).round() as usize;
+                edges.push(sort[rank]);
             }
         } else {
             // No data yet: degenerate interior edges collapse to one tier.
@@ -140,17 +161,21 @@ impl TierProfiler {
             }
         }
         edges.push(f64::INFINITY);
-        edges
     }
 
-    fn p95(values: impl Iterator<Item = f64>) -> Option<f64> {
-        let mut v: Vec<f64> = values.collect();
-        if v.is_empty() {
+    /// p95 over `values`, sorting inside `scratch` (capacity reused). The
+    /// unstable sort matches the old stable one bit for bit: only the
+    /// values themselves are ordered, so equal elements are
+    /// interchangeable.
+    fn p95_into(scratch: &mut Vec<f64>, values: impl Iterator<Item = f64>) -> Option<f64> {
+        scratch.clear();
+        scratch.extend(values);
+        if scratch.is_empty() {
             return None;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
-        let rank = ((v.len() - 1) as f64 * 0.95).round() as usize;
-        Some(v[rank])
+        scratch.sort_unstable_by(|a, b| a.partial_cmp(b).expect("non-finite sample"));
+        let rank = ((scratch.len() - 1) as f64 * 0.95).round() as usize;
+        Some(scratch[rank])
     }
 
     /// Response-time speed-up factor `g_u = t_u / t_0` of tier `u` under a
@@ -172,14 +197,28 @@ impl TierProfiler {
     ///
     /// Panics if `u + 1` is not a valid edge index.
     pub fn speedup_with_edges(&self, edges: &[f64], u: usize) -> f64 {
+        Self::speedup_over_edges(&self.responses, &mut Vec::new(), edges, u)
+    }
+
+    /// The one speed-up computation both the public [`speedup_with_edges`]
+    /// and the scratch-backed decision path run.
+    ///
+    /// [`speedup_with_edges`]: Self::speedup_with_edges
+    fn speedup_over_edges(
+        responses: &[(f64, f64)],
+        scratch: &mut Vec<f64>,
+        edges: &[f64],
+        u: usize,
+    ) -> f64 {
         assert!(u + 1 < edges.len(), "tier index out of range");
-        let overall = match Self::p95(self.responses.iter().map(|r| r.1)) {
+        let overall = match Self::p95_into(scratch, responses.iter().map(|r| r.1)) {
             Some(t0) if t0 > 0.0 => t0,
             _ => return 1.0,
         };
         let (lo, hi) = (edges[u], edges[u + 1]);
-        let tier = Self::p95(
-            self.responses
+        let tier = Self::p95_into(
+            scratch,
+            responses
                 .iter()
                 .filter(|(s, _)| *s >= lo && *s < hi)
                 .map(|r| r.1),
@@ -190,10 +229,34 @@ impl TierProfiler {
         }
     }
 
+    /// Fills the reused edge buffer with the same content
+    /// [`tier_edges`](Self::tier_edges) returns, allocation-free.
+    fn tier_edges_scratch(&mut self, v: usize) {
+        Self::fill_tier_edges(
+            &mut self.edges_scratch,
+            &mut self.sort_scratch,
+            &self.scores,
+            v,
+        );
+    }
+
+    /// [`speedup_with_edges`](Self::speedup_with_edges) against the edge
+    /// buffer [`tier_edges_scratch`](Self::tier_edges_scratch) filled,
+    /// allocation-free.
+    fn speedup_from_scratch_edges(&mut self, u: usize) -> f64 {
+        Self::speedup_over_edges(
+            &self.responses,
+            &mut self.sort_scratch,
+            &self.edges_scratch,
+            u,
+        )
+    }
+
     /// The job's cost ratio `c = t_response / t_schedule` from profiled p95
     /// response time and mean scheduling delay; `None` without history.
-    pub fn cost_ratio(&self) -> Option<f64> {
-        let resp = Self::p95(self.responses.iter().map(|r| r.1))?;
+    /// Takes `&mut self` for the reused percentile sort buffer.
+    pub fn cost_ratio(&mut self) -> Option<f64> {
+        let resp = Self::p95_into(&mut self.sort_scratch, self.responses.iter().map(|r| r.1))?;
         if self.sched_delays.is_empty() {
             return None;
         }
@@ -219,7 +282,7 @@ pub type TierRange = (f64, f64);
 ///
 /// Panics if `v == 0` or `u >= v`.
 pub fn decide_tier(
-    profile: &TierProfiler,
+    profile: &mut TierProfiler,
     v: usize,
     u: usize,
     min_samples: usize,
@@ -231,11 +294,12 @@ pub fn decide_tier(
     }
     let c = profile.cost_ratio()?;
     // One edge computation (one score sort) serves both the speed-up
-    // estimate and the returned range.
-    let edges = profile.tier_edges(v);
-    let g = profile.speedup_with_edges(&edges, u);
+    // estimate and the returned range; all of it runs in the profiler's
+    // reused scratch, so a ready-profile decision allocates nothing.
+    profile.tier_edges_scratch(v);
+    let g = profile.speedup_from_scratch_edges(u);
     if (v as f64) + g * c < 1.0 + c {
-        Some((edges[u], edges[u + 1]))
+        Some((profile.edges_scratch[u], profile.edges_scratch[u + 1]))
     } else {
         None
     }
@@ -280,9 +344,9 @@ mod tests {
 
     #[test]
     fn trigger_fires_when_response_dominates() {
-        let p = fast_high_tier_profile();
+        let mut p = fast_high_tier_profile();
         // c = 60_000 / 1_000 = 60. Top tier: g ~ 1/60. 2 + 1 < 1 + 60 → tier.
-        let range = decide_tier(&p, 2, 1, 10).expect("should tier");
+        let range = decide_tier(&mut p, 2, 1, 10).expect("should tier");
         assert!(range.0 > 0.0);
         assert_eq!(range.1, f64::INFINITY);
     }
@@ -292,21 +356,21 @@ mod tests {
         let mut p = fast_high_tier_profile();
         p.record_sched_delay(10_000_000); // scheduling hugely dominant → c ~ 0
                                           // Many delays so the mean is dominated by the big one.
-        let range = decide_tier(&p, 4, 3, 10);
+        let range = decide_tier(&mut p, 4, 3, 10);
         assert!(range.is_none(), "V=4 cannot pay off when c≈0");
     }
 
     #[test]
     fn bottom_tier_never_helps() {
-        let p = fast_high_tier_profile();
+        let mut p = fast_high_tier_profile();
         // Bottom tier has g≈1: V + c·g ≥ 1 + c for V>1.
-        assert!(decide_tier(&p, 2, 0, 10).is_none());
+        assert!(decide_tier(&mut p, 2, 0, 10).is_none());
     }
 
     #[test]
     fn single_tier_never_triggers() {
-        let p = fast_high_tier_profile();
-        assert!(decide_tier(&p, 1, 0, 10).is_none());
+        let mut p = fast_high_tier_profile();
+        assert!(decide_tier(&mut p, 1, 0, 10).is_none());
     }
 
     #[test]
@@ -314,7 +378,7 @@ mod tests {
         let mut p = TierProfiler::new();
         p.record_response(0.5, 100);
         assert!(!p.is_ready(10));
-        assert!(decide_tier(&p, 4, 3, 10).is_none());
+        assert!(decide_tier(&mut p, 4, 3, 10).is_none());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! O(1), spec-rate queries are O(grid), and region queries are
 //! O(grid × groups).
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::{Capacity, ResourceSpec, SimTime, DAY_MS};
 
@@ -69,8 +69,20 @@ pub struct RegionSupply {
 #[derive(Debug, Clone)]
 pub struct SupplyEstimator {
     window_ms: SimTime,
+    /// Per-cell in-window counts, maintained *lazily*: the check-in hot
+    /// path only touches the queue and the slot counts; the grid queries
+    /// that need per-cell resolution ([`rate`](Self::rate),
+    /// [`region_supplies`](Self::region_supplies),
+    /// [`register_spec`](Self::register_spec)) rebuild this table from the
+    /// queue when stale.
     counts: Vec<u32>,
-    queue: VecDeque<(SimTime, u16)>,
+    /// Whether `counts` reflects the current queue contents.
+    counts_fresh: bool,
+    /// In-window check-ins as packed `(time << CELL_BITS) | cell` words —
+    /// half the footprint of a `(u64, u16)` pair, which matters: at
+    /// 24-hour windows this ring holds millions of entries and `record`
+    /// runs once per device check-in.
+    queue: VecDeque<u64>,
     /// Specs registered for the incremental mask index; bit `j` of every
     /// mask refers to `specs[j]`.
     specs: Vec<ResourceSpec>,
@@ -81,6 +93,21 @@ pub struct SupplyEstimator {
     slot_masks: Vec<u128>,
     /// Live in-window check-in count per slot.
     slot_counts: Vec<u64>,
+}
+
+/// Bits of a packed queue word holding the grid cell.
+const CELL_BITS: u32 = 16;
+
+/// Packs a check-in into one queue word. Times are bounded to 48 bits
+/// (about 8,900 simulated years) by the packing.
+fn pack(now: SimTime, cell: u16) -> u64 {
+    debug_assert!(now < 1 << (64 - CELL_BITS), "sim time exceeds 48 bits");
+    (now << CELL_BITS) | cell as u64
+}
+
+/// Unpacks a queue word into `(time, cell)`.
+fn unpack(word: u64) -> (SimTime, u16) {
+    (word >> CELL_BITS, word as u16)
 }
 
 impl SupplyEstimator {
@@ -94,6 +121,7 @@ impl SupplyEstimator {
         SupplyEstimator {
             window_ms,
             counts: vec![0; GRID * GRID],
+            counts_fresh: true,
             queue: VecDeque::new(),
             specs: Vec::new(),
             cell_slot: vec![0; GRID * GRID],
@@ -119,28 +147,62 @@ impl SupplyEstimator {
 
     fn prune(&mut self, now: SimTime) {
         let cutoff = now.saturating_sub(self.window_ms);
-        while let Some(&(t, cell)) = self.queue.front() {
-            if t >= cutoff {
+        if cutoff == 0 {
+            return;
+        }
+        let cutoff_word = cutoff << CELL_BITS;
+        while let Some(&word) = self.queue.front() {
+            // Packed words order by time first, so one integer compare
+            // replaces the unpack (the cell bits only break exact ties,
+            // and any word below `cutoff << CELL_BITS` has time < cutoff).
+            if word >= cutoff_word {
                 break;
             }
             self.queue.pop_front();
-            self.counts[cell as usize] -= 1;
-            self.slot_counts[self.cell_slot[cell as usize] as usize] -= 1;
+            let cell = unpack(word).1 as usize;
+            self.slot_counts[self.cell_slot[cell] as usize] -= 1;
+            self.counts_fresh = false;
         }
     }
 
     /// Records one device check-in.
+    ///
+    /// The hot path does no expiry: pushes keep the queue time-ordered
+    /// regardless, the slot counts are only *read* through the query
+    /// methods, and every query prunes first — so expiry batches up there
+    /// (same total work, amortized off the per-check-in path) and a
+    /// record is three array touches plus a ring push.
     pub fn record(&mut self, now: SimTime, capacity: &Capacity) {
-        self.prune(now);
         let cell = Self::cell_of(capacity);
-        self.counts[cell as usize] += 1;
         self.slot_counts[self.cell_slot[cell as usize] as usize] += 1;
-        self.queue.push_back((now, cell));
+        self.queue.push_back(pack(now, cell));
+        self.counts_fresh = false;
+    }
+
+    /// Rebuilds the per-cell count table from the queue — the cold-path
+    /// complement of the hot path's slot-count-only maintenance.
+    fn refresh_counts(&mut self) {
+        if self.counts_fresh {
+            return;
+        }
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        for &word in &self.queue {
+            self.counts[unpack(word).1 as usize] += 1;
+        }
+        self.counts_fresh = true;
     }
 
     /// Registers a spec with the incremental mask index and returns its bit
-    /// position. Rebuilds the cell→slot mapping (one grid walk — amortized
-    /// over the lifetime of the job group, not paid per query).
+    /// position.
+    ///
+    /// The slot table is maintained *incrementally*: the new spec's bit is
+    /// the most significant bit used so far, so each existing slot at most
+    /// splits in two — the cells eligible for the new spec (mask `m | bit`,
+    /// which sorts after every old mask) and the rest (mask `m`, unchanged).
+    /// Splitting therefore preserves the ascending mask order with no mask
+    /// array, no sort, and no per-cell `u128` buffer — two grid walks and a
+    /// handful of per-slot scratch rows, instead of the old
+    /// collect-clone-sort-dedup rebuild.
     ///
     /// # Panics
     ///
@@ -148,34 +210,69 @@ impl SupplyEstimator {
     pub fn register_spec(&mut self, spec: ResourceSpec) -> usize {
         let j = self.specs.len();
         assert!(j < 128, "at most 128 registered specs (mask width)");
+        self.refresh_counts();
         self.specs.push(spec);
         let bit = 1u128 << j;
-        // New per-cell masks: the old mask ORed with the new spec's bit.
-        let mut cell_mask = vec![0u128; GRID * GRID];
-        for cpu_cell in 0..GRID {
-            for mem_cell in 0..GRID {
+        // Threshold specs are separable over the grid: eligibility of cell
+        // (cpu, mem) is row-eligible AND column-eligible.
+        let mut cpu_ok = [false; GRID];
+        let mut mem_ok = [false; GRID];
+        for i in 0..GRID {
+            cpu_ok[i] = cell_low(i) >= spec.min_cpu();
+            mem_ok[i] = cell_low(i) >= spec.min_mem();
+        }
+        // First walk: which old slots split, and how much in-window supply
+        // moves to each slot's eligible half.
+        let old_slots = self.slot_masks.len();
+        let mut with_cells = vec![false; old_slots];
+        let mut without_cells = vec![false; old_slots];
+        let mut with_counts = vec![0u64; old_slots];
+        for (cpu_cell, &cok) in cpu_ok.iter().enumerate() {
+            for (mem_cell, &mok) in mem_ok.iter().enumerate() {
                 let cell = cpu_cell * GRID + mem_cell;
-                let mut mask = self.slot_masks[self.cell_slot[cell] as usize];
-                let cap = Capacity::new(cell_low(cpu_cell), cell_low(mem_cell));
-                if spec.is_eligible(&cap) {
-                    mask |= bit;
+                let s = self.cell_slot[cell] as usize;
+                if cok && mok {
+                    with_cells[s] = true;
+                    with_counts[s] += self.counts[cell] as u64;
+                } else {
+                    without_cells[s] = true;
                 }
-                cell_mask[cell] = mask;
             }
         }
-        let mut masks: Vec<u128> = cell_mask.clone();
-        masks.sort_unstable();
-        masks.dedup();
-        self.slot_masks = masks;
-        self.slot_counts = vec![0; self.slot_masks.len()];
-        for (cell, &mask) in cell_mask.iter().enumerate() {
-            let slot = self
-                .slot_masks
-                .binary_search(&mask)
-                .expect("mask collected above") as u32;
-            self.cell_slot[cell] = slot;
-            self.slot_counts[slot as usize] += self.counts[cell] as u64;
+        // New table: surviving old masks first (ascending), then the split
+        // halves `m | bit` (ascending, and all greater than any old mask).
+        let mut map_without = vec![u32::MAX; old_slots];
+        let mut map_with = vec![u32::MAX; old_slots];
+        let mut new_masks = Vec::with_capacity(2 * old_slots);
+        let mut new_counts = Vec::with_capacity(2 * old_slots);
+        for (s, &mask) in self.slot_masks.iter().enumerate() {
+            if without_cells[s] {
+                map_without[s] = new_masks.len() as u32;
+                new_masks.push(mask);
+                new_counts.push(self.slot_counts[s] - with_counts[s]);
+            }
         }
+        for (s, &mask) in self.slot_masks.iter().enumerate() {
+            if with_cells[s] {
+                map_with[s] = new_masks.len() as u32;
+                new_masks.push(mask | bit);
+                new_counts.push(with_counts[s]);
+            }
+        }
+        // Second walk: retarget every cell at its half of the split.
+        for (cpu_cell, &cok) in cpu_ok.iter().enumerate() {
+            for (mem_cell, &mok) in mem_ok.iter().enumerate() {
+                let cell = cpu_cell * GRID + mem_cell;
+                let s = self.cell_slot[cell] as usize;
+                self.cell_slot[cell] = if cok && mok {
+                    map_with[s]
+                } else {
+                    map_without[s]
+                };
+            }
+        }
+        self.slot_masks = new_masks;
+        self.slot_counts = new_counts;
         j
     }
 
@@ -268,6 +365,7 @@ impl SupplyEstimator {
     /// Estimated check-in rate (devices/ms) of devices satisfying `spec`.
     pub fn rate(&mut self, now: SimTime, spec: &ResourceSpec) -> f64 {
         self.prune(now);
+        self.refresh_counts();
         let span = self.span_ms(now);
         let mut count = 0u64;
         for cpu_cell in 0..GRID {
@@ -297,8 +395,12 @@ impl SupplyEstimator {
     pub fn region_supplies(&mut self, now: SimTime, specs: &[ResourceSpec]) -> Vec<RegionSupply> {
         assert!(specs.len() <= 128, "at most 128 concurrent job groups");
         self.prune(now);
+        self.refresh_counts();
         let span = self.span_ms(now);
-        let mut by_mask: HashMap<u128, u64> = HashMap::new();
+        // Occupied cells' (mask, count) pairs, merged by sorting — regions
+        // number at most a few dozen, so a sort of the occupied cells beats
+        // a hash map and the output needs no second sort.
+        let mut pairs: Vec<(u128, u64)> = Vec::new();
         for cpu_cell in 0..GRID {
             for mem_cell in 0..GRID {
                 let count = self.counts[cpu_cell * GRID + mem_cell];
@@ -313,18 +415,24 @@ impl SupplyEstimator {
                     }
                 }
                 if mask != 0 {
-                    *by_mask.entry(mask).or_default() += count as u64;
+                    pairs.push((mask, count as u64));
                 }
             }
         }
-        let mut out: Vec<RegionSupply> = by_mask
-            .into_iter()
-            .map(|(mask, count)| RegionSupply {
-                mask,
-                rate: count as f64 / span,
-            })
-            .collect();
-        out.sort_by_key(|a| a.mask);
+        pairs.sort_unstable_by_key(|&(mask, _)| mask);
+        let mut out: Vec<RegionSupply> = Vec::new();
+        for (mask, count) in pairs {
+            match out.last_mut() {
+                Some(last) if last.mask == mask => last.rate += count as f64,
+                _ => out.push(RegionSupply {
+                    mask,
+                    rate: count as f64,
+                }),
+            }
+        }
+        for r in &mut out {
+            r.rate /= span;
+        }
         out
     }
 

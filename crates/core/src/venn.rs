@@ -18,22 +18,36 @@
 //!   [`SupplyEstimator`]'s incremental mask index instead of a full
 //!   capacity-grid walk.
 //!
+//! ## Dense data plane
+//!
+//! All of that state is *slot-indexed*, never hash-addressed. A job's
+//! [`ResourceSpec`] is interned into a dense [`GroupId`] at submit time
+//! ([`SpecInterner`]); job state lives in a generation-checked
+//! [`SlotMap`], and `members`/`group_order`/`fifo_order` hold
+//! [`JobSlot`]s, so every candidate probe in `assign` is one array access.
+//! The external [`JobId`] space crosses into slots through a direct-indexed
+//! [`JobIdIndex`] at the trait boundary, and the IRS plan's owner table is
+//! a sorted mask table searched by binary search — no `HashMap` anywhere on
+//! the check-in/submit/assign path, and no steady-state allocation (pinned
+//! by the counting-allocator test in `tests/no_alloc_steady_state.rs`).
+//!
 //! The triggers are unchanged from the paper (request arrival, request
 //! completion, and a periodic refresh for supply drift), so incremental and
 //! full-rebuild modes ([`VennConfig::incremental`]) produce byte-identical
 //! assignment streams — pinned by `tests/venn_incremental_parity.rs`.
 
-use std::collections::HashMap;
-
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::fairness::{fair_target_ms, FairnessKnob};
-use crate::irs::{self, AllocationPlan, GroupSummary};
+use crate::intern::SpecInterner;
+use crate::irs::{self, AllocationPlan, GroupSummary, IrsScratch};
 use crate::matching::{decide_tier, TierProfiler, TierRange};
+use crate::slotmap::{JobIdIndex, JobSlot, SlotMap};
 use crate::supply::RegionSupply;
 use crate::{
-    DeviceInfo, JobId, Request, ResourceSpec, Scheduler, SimTime, SupplyEstimator, VennConfig,
+    DeviceInfo, GroupId, JobId, Request, ResourceSpec, Scheduler, SimTime, SupplyEstimator,
+    VennConfig,
 };
 
 /// Fallback per-round response estimate (ms) used for the uncontended-JCT
@@ -46,7 +60,10 @@ const MIN_RATE: f64 = 1e-9;
 
 #[derive(Debug)]
 struct JobEntry {
-    group: usize,
+    /// External identity, carried so slot-addressed walks can answer in
+    /// `JobId` terms without a reverse lookup.
+    job: JobId,
+    group: GroupId,
     /// Unassigned demand of the current request.
     pending: u32,
     /// Demand of the current request as submitted.
@@ -105,16 +122,22 @@ pub struct VennScheduler {
     config: VennConfig,
     knob: FairnessKnob,
     supply: SupplyEstimator,
-    jobs: HashMap<JobId, JobEntry>,
-    spec_to_group: HashMap<ResourceSpec, usize>,
+    /// Per-job state, slot-addressed. Entries persist across withdrawals
+    /// (the tier profiler survives resubmission), so a job's slot is
+    /// stable for the scheduler's lifetime.
+    jobs: SlotMap<JobEntry>,
+    /// `JobId` → slot translation at the trait boundary (direct-indexed).
+    job_slots: JobIdIndex,
+    /// `ResourceSpec` → dense `GroupId`, fixed at first submission.
+    interner: SpecInterner,
     plan: AllocationPlan,
     /// Active members of each group in insertion order — the stable input
     /// every order rebuild sorts from, identical across incremental and
     /// full-rebuild modes.
-    members: Vec<Vec<JobId>>,
+    members: Vec<Vec<JobSlot>>,
     /// Per-group job order (ascending fairness-adjusted remaining demand).
     /// Persistent: `assign` iterates it in place, no per-check-in clone.
-    group_order: Vec<Vec<JobId>>,
+    group_order: Vec<Vec<JobSlot>>,
     /// Fairness-adjusted queue length per group, cached from the group's
     /// last order rebuild (valid while the group is clean).
     queue_len: Vec<f64>,
@@ -125,17 +148,20 @@ pub struct VennScheduler {
     /// FIFO order over active jobs, used when `use_irs` is off. Maintained
     /// incrementally sorted by `(submit_time, id)` — and only in that
     /// ablation arm; the IRS arms never touch it.
-    fifo_order: Vec<JobId>,
+    fifo_order: Vec<JobSlot>,
     /// Number of jobs with an active request (the fairness `M`).
     active_count: usize,
     last_rebuild: SimTime,
     rng: StdRng,
     name: String,
     stats: MatchingStats,
-    /// Scratch buffers reused across plan refreshes.
+    /// Scratch buffers reused across plan refreshes and order rebuilds.
     rates_scratch: Vec<f64>,
     regions_scratch: Vec<RegionSupply>,
     summaries_scratch: Vec<GroupSummary>,
+    irs_scratch: IrsScratch,
+    scored_scratch: Vec<(f64, SimTime, JobId, JobSlot)>,
+    fifo_scratch: Vec<(SimTime, JobId, JobSlot)>,
 }
 
 /// Counters describing how often tier-based matching engaged — useful for
@@ -185,8 +211,9 @@ impl VennScheduler {
         VennScheduler {
             knob: FairnessKnob::new(config.epsilon),
             supply: SupplyEstimator::new(config.supply_window_ms),
-            jobs: HashMap::new(),
-            spec_to_group: HashMap::new(),
+            jobs: SlotMap::new(),
+            job_slots: JobIdIndex::new(),
+            interner: SpecInterner::new(),
             plan: AllocationPlan::default(),
             members: Vec::new(),
             group_order: Vec::new(),
@@ -201,6 +228,9 @@ impl VennScheduler {
             rates_scratch: Vec::new(),
             regions_scratch: Vec::new(),
             summaries_scratch: Vec::new(),
+            irs_scratch: IrsScratch::default(),
+            scored_scratch: Vec::new(),
+            fifo_scratch: Vec::new(),
             config,
         }
     }
@@ -233,24 +263,26 @@ impl VennScheduler {
     ///
     /// Exposed for the Fig. 14 fairness experiments.
     pub fn fair_target_of(&self, job: JobId) -> Option<f64> {
-        let entry = self.jobs.get(&job)?;
+        let entry = self.jobs.get(self.job_slots.get(job)?)?;
         let m = self.active_jobs().max(1);
         Some(fair_target_ms(m, entry.uncontended_jct_ms))
     }
 
-    fn group_index(&mut self, spec: ResourceSpec) -> usize {
-        if let Some(&g) = self.spec_to_group.get(&spec) {
-            return g;
+    /// Interns `spec`, growing the per-group state on first sight.
+    fn group_index(&mut self, spec: ResourceSpec) -> GroupId {
+        let (g, is_new) = self.interner.intern(spec);
+        if is_new {
+            assert!(
+                g.index() < 128,
+                "at most 128 distinct resource specs supported"
+            );
+            let registered = self.supply.register_spec(spec);
+            debug_assert_eq!(registered, g.index(), "supply bit must equal group index");
+            self.members.push(Vec::new());
+            self.group_order.push(Vec::new());
+            self.queue_len.push(0.0);
+            self.dirty.push(false);
         }
-        let g = self.members.len();
-        assert!(g < 128, "at most 128 distinct resource specs supported");
-        let registered = self.supply.register_spec(spec);
-        debug_assert_eq!(registered, g, "supply bit must equal group index");
-        self.spec_to_group.insert(spec, g);
-        self.members.push(Vec::new());
-        self.group_order.push(Vec::new());
-        self.queue_len.push(0.0);
-        self.dirty.push(false);
         g
     }
 
@@ -282,17 +314,18 @@ impl VennScheduler {
             // FIFO arm: group orders and the plan are never consulted.
             if !self.config.incremental {
                 // Genuine reference for the parity harness: recompute the
-                // FIFO order from the jobs map, as a full rebuild would,
+                // FIFO order from the job table, as a full rebuild would,
                 // instead of trusting the incremental insertions.
-                let mut fifo: Vec<(SimTime, JobId)> = self
-                    .jobs
-                    .iter()
-                    .filter(|(_, e)| e.active)
-                    .map(|(&id, e)| (e.submit_time, id))
-                    .collect();
-                fifo.sort();
+                self.fifo_scratch.clear();
+                for (slot, e) in self.jobs.iter() {
+                    if e.active {
+                        self.fifo_scratch.push((e.submit_time, e.job, slot));
+                    }
+                }
+                self.fifo_scratch.sort_unstable();
                 self.fifo_order.clear();
-                self.fifo_order.extend(fifo.into_iter().map(|(_, id)| id));
+                self.fifo_order
+                    .extend(self.fifo_scratch.iter().map(|&(_, _, slot)| slot));
             }
             for d in &mut self.dirty {
                 *d = false;
@@ -327,17 +360,18 @@ impl VennScheduler {
             &self.summaries_scratch,
             &self.regions_scratch,
             self.config.use_steal,
+            &mut self.irs_scratch,
         );
     }
 
     /// Re-sorts one group's serving order and recomputes its queue length.
     fn rebuild_group_order(&mut self, g: usize, m_total: usize) {
-        let mut scored: Vec<(f64, SimTime, JobId)> = Vec::with_capacity(self.members[g].len());
+        self.scored_scratch.clear();
         let mut sum_targets = 0.0;
         let mut sum_usage = 0.0;
-        for &id in &self.members[g] {
-            let entry = &self.jobs[&id];
-            debug_assert!(entry.active && entry.group == g);
+        for &slot in &self.members[g] {
+            let entry = self.jobs.get(slot).expect("group member slot is live");
+            debug_assert!(entry.active && entry.group.index() == g);
             let target = fair_target_ms(m_total, entry.uncontended_jct_ms);
             // Fairness time-usage t_i: the share of the job's
             // uncontended JCT it has already been served
@@ -353,11 +387,13 @@ impl VennScheduler {
                 .adjusted_demand(entry.remaining_key() as f64, usage, target);
             sum_targets += target;
             sum_usage += usage.max(1.0);
-            scored.push((adjusted, entry.submit_time, id));
+            self.scored_scratch
+                .push((adjusted, entry.submit_time, entry.job, slot));
         }
         // Smallest adjusted remaining demand first (§4.2.1); ties by
-        // arrival then id for determinism.
-        scored.sort_by(|a, b| {
+        // arrival then id for determinism. The key is total (ids are
+        // unique), so the unstable sort is deterministic.
+        self.scored_scratch.sort_unstable_by(|a, b| {
             a.0.partial_cmp(&b.0)
                 .expect("non-finite adjusted demand")
                 .then(a.1.cmp(&b.1))
@@ -365,9 +401,9 @@ impl VennScheduler {
         });
         self.queue_len[g] =
             self.knob
-                .adjusted_queue_len(scored.len() as f64, sum_targets, sum_usage);
+                .adjusted_queue_len(self.scored_scratch.len() as f64, sum_targets, sum_usage);
         self.group_order[g].clear();
-        self.group_order[g].extend(scored.into_iter().map(|(_, _, id)| id));
+        self.group_order[g].extend(self.scored_scratch.iter().map(|&(_, _, _, slot)| slot));
     }
 
     /// Marks every group dirty — used when a change affects all sort keys
@@ -378,22 +414,22 @@ impl VennScheduler {
         }
     }
 
-    fn fifo_remove(&mut self, job: JobId) {
-        if let Some(pos) = self.fifo_order.iter().position(|&id| id == job) {
+    fn fifo_remove(&mut self, slot: JobSlot) {
+        if let Some(pos) = self.fifo_order.iter().position(|&s| s == slot) {
             self.fifo_order.remove(pos);
         }
     }
 
-    /// Inserts `job` at its sorted `(submit_time, id)` position. Callers
+    /// Inserts the job at its sorted `(submit_time, id)` position. Callers
     /// must have updated the job's entry (and removed any stale position)
     /// first.
-    fn fifo_insert(&mut self, job: JobId, submit_time: SimTime) {
+    fn fifo_insert(&mut self, slot: JobSlot, job: JobId, submit_time: SimTime) {
         let jobs = &self.jobs;
-        let pos = self.fifo_order.partition_point(|&id| {
-            let e = &jobs[&id];
-            (e.submit_time, id) < (submit_time, job)
+        let pos = self.fifo_order.partition_point(|&s| {
+            let e = jobs.get(s).expect("fifo slot is live");
+            (e.submit_time, e.job) < (submit_time, job)
         });
-        self.fifo_order.insert(pos, job);
+        self.fifo_order.insert(pos, slot);
     }
 
     /// Offers `device` to `g`'s members in serving order. On success the
@@ -401,25 +437,26 @@ impl VennScheduler {
     /// (pending dropped below the disclosed total remaining).
     fn assign_from_group(&mut self, g: usize, device: &DeviceInfo) -> Option<JobId> {
         for i in 0..self.group_order[g].len() {
-            let id = self.group_order[g][i];
-            if let Some(key_changed) = Self::try_assign_job(&mut self.jobs, id, device) {
+            let slot = self.group_order[g][i];
+            if let Some((job, key_changed)) = Self::try_assign_job(&mut self.jobs, slot, device) {
                 if key_changed {
                     self.dirty[g] = true;
                 }
-                return Some(id);
+                return Some(job);
             }
         }
         None
     }
 
-    /// Attempts the assignment; `Some(key_changed)` on success, where
-    /// `key_changed` reports whether the job's intra-group sort key moved.
+    /// Attempts the assignment; `Some((job, key_changed))` on success,
+    /// where `key_changed` reports whether the job's intra-group sort key
+    /// moved.
     fn try_assign_job(
-        jobs: &mut HashMap<JobId, JobEntry>,
-        id: JobId,
+        jobs: &mut SlotMap<JobEntry>,
+        slot: JobSlot,
         device: &DeviceInfo,
-    ) -> Option<bool> {
-        let entry = jobs.get_mut(&id)?;
+    ) -> Option<(JobId, bool)> {
+        let entry = jobs.get_mut(slot)?;
         if !entry.active || entry.pending == 0 {
             return None;
         }
@@ -432,7 +469,7 @@ impl VennScheduler {
         let key_before = entry.remaining_key();
         entry.pending -= 1;
         entry.profiler.record_participant(device.score());
-        Some(entry.remaining_key() != key_before)
+        Some((entry.job, entry.remaining_key() != key_before))
     }
 }
 
@@ -443,7 +480,10 @@ impl Scheduler for VennScheduler {
 
     fn submit(&mut self, request: Request, now: SimTime) {
         let group = self.group_index(request.spec);
-        let rate = self.supply.registered_rate(now, group).max(MIN_RATE);
+        let rate = self
+            .supply
+            .registered_rate(now, group.index())
+            .max(MIN_RATE);
         let rounds_est = (request.total_remaining as f64 / request.demand as f64).max(1.0);
         let uncontended = rounds_est * (request.demand as f64 / rate + DEFAULT_RESPONSE_EST_MS);
 
@@ -456,19 +496,28 @@ impl Scheduler for VennScheduler {
             0
         };
 
-        let entry = self.jobs.entry(request.job).or_insert_with(|| JobEntry {
-            group,
-            pending: 0,
-            demand: 0,
-            total_remaining: 0,
-            active: false,
-            submit_time: now,
-            allocs_done: 0,
-            rounds_est: rounds_est.max(1.0),
-            uncontended_jct_ms: uncontended,
-            profiler: TierProfiler::new(),
-            tier: None,
-        });
+        let slot = match self.job_slots.get(request.job) {
+            Some(slot) => slot,
+            None => {
+                let slot = self.jobs.insert(JobEntry {
+                    job: request.job,
+                    group,
+                    pending: 0,
+                    demand: 0,
+                    total_remaining: 0,
+                    active: false,
+                    submit_time: now,
+                    allocs_done: 0,
+                    rounds_est: rounds_est.max(1.0),
+                    uncontended_jct_ms: uncontended,
+                    profiler: TierProfiler::new(),
+                    tier: None,
+                });
+                self.job_slots.set(request.job, slot);
+                slot
+            }
+        };
+        let entry = self.jobs.get_mut(slot).expect("slot just resolved");
         let was_active = entry.active;
         let old_group = entry.group;
         entry.group = group;
@@ -484,7 +533,7 @@ impl Scheduler for VennScheduler {
             } else {
                 self.stats.not_ready += 1;
             }
-            let tier = decide_tier(&entry.profiler, tiers, u, min_samples);
+            let tier = decide_tier(&mut entry.profiler, tiers, u, min_samples);
             if tier.is_some() {
                 self.stats.fired += 1;
             }
@@ -496,13 +545,13 @@ impl Scheduler for VennScheduler {
         // Delta maintenance: membership, dirty flags, FIFO position.
         if !was_active {
             self.active_count += 1;
-            self.members[group].push(request.job);
+            self.members[group.index()].push(slot);
         } else if old_group != group {
-            self.members[old_group].retain(|&id| id != request.job);
-            self.members[group].push(request.job);
-            self.dirty[old_group] = true;
+            self.members[old_group.index()].retain(|&s| s != slot);
+            self.members[group.index()].push(slot);
+            self.dirty[old_group.index()] = true;
         }
-        self.dirty[group] = true;
+        self.dirty[group.index()] = true;
         if self.knob.is_enabled() {
             // M and the usage sums feed every group's keys and queue length.
             self.mark_all_dirty();
@@ -510,32 +559,34 @@ impl Scheduler for VennScheduler {
         if !self.config.use_irs && self.config.incremental {
             // Only the FIFO ablation arm ever reads `fifo_order`; the
             // full-rebuild reference recomputes it in `refresh` instead.
-            self.fifo_remove(request.job);
-            self.fifo_insert(request.job, now);
+            self.fifo_remove(slot);
+            self.fifo_insert(slot, request.job, now);
         }
 
         self.refresh(now);
     }
 
     fn withdraw(&mut self, job: JobId, now: SimTime) {
-        let mut deactivated_group = None;
-        if let Some(entry) = self.jobs.get_mut(&job) {
-            if entry.active {
-                entry.active = false;
-                entry.pending = 0;
-                entry.tier = None;
-                deactivated_group = Some(entry.group);
+        let mut deactivated = None;
+        if let Some(slot) = self.job_slots.get(job) {
+            if let Some(entry) = self.jobs.get_mut(slot) {
+                if entry.active {
+                    entry.active = false;
+                    entry.pending = 0;
+                    entry.tier = None;
+                    deactivated = Some((slot, entry.group.index()));
+                }
             }
         }
-        if let Some(g) = deactivated_group {
+        if let Some((slot, g)) = deactivated {
             self.active_count -= 1;
-            self.members[g].retain(|&id| id != job);
+            self.members[g].retain(|&s| s != slot);
             self.dirty[g] = true;
             if self.knob.is_enabled() {
                 self.mark_all_dirty();
             }
             if !self.config.use_irs && self.config.incremental {
-                self.fifo_remove(job);
+                self.fifo_remove(slot);
             }
         }
         // Unconditional, matching the paper's completion trigger: even a
@@ -544,12 +595,15 @@ impl Scheduler for VennScheduler {
     }
 
     fn add_demand(&mut self, job: JobId, count: u32, _now: SimTime) {
-        if let Some(entry) = self.jobs.get_mut(&job) {
+        let Some(slot) = self.job_slots.get(job) else {
+            return;
+        };
+        if let Some(entry) = self.jobs.get_mut(slot) {
             if entry.active {
                 let key_before = entry.remaining_key();
                 entry.pending = entry.pending.saturating_add(count);
                 if entry.remaining_key() != key_before {
-                    self.dirty[entry.group] = true;
+                    self.dirty[entry.group.index()] = true;
                 }
             }
         }
@@ -564,14 +618,14 @@ impl Scheduler for VennScheduler {
             self.refresh(now);
         }
         if self.config.use_irs {
-            let mask = SupplyEstimator::mask_of(device.capacity(), self.supply.registered_specs());
+            let mask = SupplyEstimator::mask_of(device.capacity(), self.interner.specs());
             if mask == 0 {
                 return None;
             }
             // Owner first, then remaining eligible groups scarcest-first —
             // `offer_order`, walked in place. The owner's bit is re-checked:
             // a stale plan may name a group the device is ineligible for.
-            let owner = self.plan.owner_of.get(&mask).copied();
+            let owner = self.plan.owner_of(mask);
             if let Some(g) = owner {
                 if mask & (1u128 << g) != 0 {
                     if let Some(id) = self.assign_from_group(g, device) {
@@ -591,14 +645,17 @@ impl Scheduler for VennScheduler {
             None
         } else {
             for i in 0..self.fifo_order.len() {
-                let id = self.fifo_order[i];
+                let slot = self.fifo_order[i];
                 let eligible = self
                     .jobs
-                    .get(&id)
-                    .map(|e| self.supply.registered_specs()[e.group].is_eligible(device.capacity()))
+                    .get(slot)
+                    .map(|e| self.interner.specs()[e.group.index()].is_eligible(device.capacity()))
                     .unwrap_or(false);
-                if eligible && Self::try_assign_job(&mut self.jobs, id, device).is_some() {
-                    return Some(id);
+                if !eligible {
+                    continue;
+                }
+                if let Some((job, _)) = Self::try_assign_job(&mut self.jobs, slot, device) {
+                    return Some(job);
                 }
             }
             None
@@ -606,25 +663,34 @@ impl Scheduler for VennScheduler {
     }
 
     fn on_response(&mut self, job: JobId, device: &DeviceInfo, response_ms: u64, _now: SimTime) {
-        if let Some(entry) = self.jobs.get_mut(&job) {
+        let Some(slot) = self.job_slots.get(job) else {
+            return;
+        };
+        if let Some(entry) = self.jobs.get_mut(slot) {
             entry.profiler.record_response(device.score(), response_ms);
         }
     }
 
     fn on_alloc_complete(&mut self, job: JobId, delay_ms: u64, _now: SimTime) {
-        if let Some(entry) = self.jobs.get_mut(&job) {
+        let Some(slot) = self.job_slots.get(job) else {
+            return;
+        };
+        if let Some(entry) = self.jobs.get_mut(slot) {
             entry.profiler.record_sched_delay(delay_ms);
             entry.allocs_done += 1;
             if self.knob.is_enabled() {
                 // Progress moves the job's fairness usage, which shifts its
                 // adjusted demand and the group's queue length.
-                self.dirty[entry.group] = true;
+                self.dirty[entry.group.index()] = true;
             }
         }
     }
 
     fn pending_demand(&self, job: JobId) -> Option<u32> {
-        self.jobs.get(&job).filter(|e| e.active).map(|e| e.pending)
+        self.jobs
+            .get(self.job_slots.get(job)?)
+            .filter(|e| e.active)
+            .map(|e| e.pending)
     }
 
     fn has_open_demand(&self) -> bool {
@@ -637,7 +703,6 @@ impl Scheduler for VennScheduler {
         true
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

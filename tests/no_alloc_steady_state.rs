@@ -1,0 +1,180 @@
+//! Steady-state allocation audit for the scheduler hot paths.
+//!
+//! The dense data plane's contract is not just "no hashing" but "no
+//! allocation": once a scheduler has seen its jobs and groups, the whole
+//! check-in → assign → demand-return cycle — *including* the refresh
+//! triggers (resubmission, withdrawal, the periodic supply-drift rebuild)
+//! that re-sort group orders and re-run IRS — must run out of persistent
+//! buffers. A counting global allocator pins that: after a warm-up pass
+//! that grows every scratch buffer to its high-water mark, an identical
+//! traffic pass must perform exactly zero allocations.
+//!
+//! This file deliberately contains a single `#[test]` so no concurrent
+//! test pollutes the process-wide allocation counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use venn::baselines::BaselineScheduler;
+use venn::core::{
+    Capacity, DeviceId, DeviceInfo, JobId, Request, ResourceSpec, Scheduler, VennConfig,
+    VennScheduler,
+};
+
+/// Wraps the system allocator, counting every allocation entry point.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+fn dev(i: u64) -> DeviceInfo {
+    let cpu = ((i * 13) % 10) as f64 / 10.0;
+    let mem = ((i * 7) % 10) as f64 / 10.0;
+    DeviceInfo::new(DeviceId::new(10_000 + i), Capacity::new(cpu, mem))
+}
+
+fn spec_of(j: u64) -> ResourceSpec {
+    match j % 3 {
+        0 => ResourceSpec::any(),
+        1 => ResourceSpec::new(0.5, 0.5),
+        _ => ResourceSpec::new(0.5, 0.0),
+    }
+}
+
+/// One pass of steady-state traffic: check-ins with assignments and demand
+/// returns, plus the refresh triggers — rotating withdraw/resubmit churn —
+/// and enough simulated time to cross the periodic rebuild interval many
+/// times. Returns the advanced clock so passes chain seamlessly.
+fn drive(sched: &mut dyn Scheduler, mut t: u64, steps: u64) -> u64 {
+    for i in 0..steps {
+        // 7-second steps cross the 60 s periodic-refresh interval.
+        t += 7_000;
+        let d = dev(i % 97);
+        sched.on_check_in(&d, t);
+        if let Some(job) = sched.assign(&d, t) {
+            // Return the demand so the queue never drains mid-measurement.
+            sched.add_demand(job, 1, t);
+            if i % 5 == 0 {
+                sched.on_response(job, &d, 1_000 + i, t);
+            }
+            if i % 11 == 0 {
+                sched.on_alloc_complete(job, i, t);
+            }
+        }
+        if i % 25 == 0 {
+            // Round-completion churn: an existing job's request leaves the
+            // queue and returns — the submit/withdraw refresh triggers.
+            let j = (i / 25) % 8;
+            sched.withdraw(JobId::new(j), t);
+            sched.submit(
+                Request::new(JobId::new(j), spec_of(j), 2 + (j % 3) as u32, 40 + j),
+                t,
+            );
+        }
+    }
+    t
+}
+
+/// Warm a scheduler to its steady state, then assert a full traffic pass
+/// allocates nothing.
+fn assert_no_alloc_steady_state(mut sched: Box<dyn Scheduler>, label: &str) {
+    let mut t = 0;
+    for j in 0..8u64 {
+        sched.submit(
+            Request::new(JobId::new(j), spec_of(j), 2 + (j % 3) as u32, 40 + j),
+            t,
+        );
+    }
+    // Pre-fill the per-job profiler ring buffers (512 samples each) to
+    // their caps: once full they overwrite in place, so none of the
+    // doubling growth below is left for the measured pass.
+    for j in 0..8u64 {
+        for k in 0..600u64 {
+            sched.on_response(JobId::new(j), &dev(k % 97), 1_000 + k, t);
+            sched.on_alloc_complete(JobId::new(j), k, t);
+        }
+    }
+    // Warm-up passes grow every scratch buffer (and the score rings, which
+    // only fill through assignments) to their high-water marks.
+    for _ in 0..4 {
+        t = drive(sched.as_mut(), t, 3_000);
+    }
+
+    let before = allocations();
+    drive(sched.as_mut(), t, 3_000);
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "{label}: steady-state pass performed {delta} allocations"
+    );
+}
+
+#[test]
+fn schedulers_do_not_allocate_in_steady_state() {
+    // The supply window bounds the check-in queue's occupancy; a short
+    // window reaches its high-water mark within the warm-up passes.
+    let window = VennConfig {
+        supply_window_ms: 600_000,
+        ..VennConfig::default()
+    };
+    assert_no_alloc_steady_state(Box::new(VennScheduler::new(window)), "venn");
+    assert_no_alloc_steady_state(
+        Box::new(VennScheduler::new(VennConfig {
+            supply_window_ms: 600_000,
+            incremental: false,
+            ..VennConfig::default()
+        })),
+        "venn-full",
+    );
+    // The FIFO ablation arms exercise the incremental insert and the
+    // full-rebuild reference (the old per-refresh `fifo` Vec).
+    assert_no_alloc_steady_state(
+        Box::new(VennScheduler::new(VennConfig {
+            supply_window_ms: 600_000,
+            use_irs: false,
+            ..VennConfig::default()
+        })),
+        "venn-wo-sched",
+    );
+    assert_no_alloc_steady_state(
+        Box::new(VennScheduler::new(VennConfig {
+            supply_window_ms: 600_000,
+            use_irs: false,
+            incremental: false,
+            ..VennConfig::default()
+        })),
+        "venn-wo-sched-full",
+    );
+    // Baselines share the slot-map data plane and the persistent
+    // candidate buffer.
+    assert_no_alloc_steady_state(Box::new(BaselineScheduler::random_order(42)), "random");
+    assert_no_alloc_steady_state(Box::new(BaselineScheduler::fifo()), "fifo");
+    assert_no_alloc_steady_state(Box::new(BaselineScheduler::srsf()), "srsf");
+}

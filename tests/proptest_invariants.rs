@@ -2,8 +2,10 @@
 
 use proptest::prelude::*;
 
+use venn::core::intern::SpecInterner;
 use venn::core::irs::{allocate, GroupSummary};
 use venn::core::matching::TierProfiler;
+use venn::core::slotmap::{JobSlot, SlotMap};
 use venn::core::supply::RegionSupply;
 use venn::core::{
     Capacity, DeviceId, DeviceInfo, JobId, Request, ResourceSpec, Scheduler, SupplyEstimator,
@@ -47,8 +49,8 @@ proptest! {
     fn irs_owners_are_eligible_and_complete((groups, regions) in irs_inputs()) {
         let plan = allocate(&groups, &regions);
         for r in &regions {
-            match plan.owner_of.get(&r.mask) {
-                Some(&owner) => prop_assert!(r.mask & (1u128 << owner) != 0),
+            match plan.owner_of(r.mask) {
+                Some(owner) => prop_assert!(r.mask & (1u128 << owner) != 0),
                 None => {
                     // Only regions no group is eligible for may be unowned.
                     let any_eligible = groups.iter().any(|g| r.mask & (1u128 << g.index) != 0);
@@ -156,6 +158,96 @@ proptest! {
     }
 }
 
+// --- Dense data plane: interner and slot map --------------------------------
+
+proptest! {
+    /// Interning is a function of the spec alone — equal specs get equal
+    /// `GroupId`s at any point of an interleaved submit/complete/churn
+    /// stream — and `resolve` inverts `intern` exactly.
+    #[test]
+    fn interner_round_trips_across_churn(
+        ops in proptest::collection::vec((0u8..8, 0u8..8, 0u8..2), 1..120),
+    ) {
+        let mut interner = SpecInterner::new();
+        // Churn rides along: jobs keyed by the same quantized spec space
+        // enter and leave a slot map between intern calls, like the
+        // scheduler's own submit/complete stream.
+        let mut jobs: SlotMap<u32> = SlotMap::new();
+        let mut live: Vec<JobSlot> = Vec::new();
+        let mut seen: Vec<(ResourceSpec, venn::core::GroupId)> = Vec::new();
+        for (i, &(c, m, leave)) in ops.iter().enumerate() {
+            let leave = leave == 1;
+            let spec = ResourceSpec::new(c as f64 / 8.0, m as f64 / 8.0);
+            let (g, fresh) = interner.intern(spec);
+            // intern → resolve is the identity.
+            prop_assert_eq!(interner.resolve(g), spec);
+            match seen.iter().find(|(s, _)| *s == spec) {
+                Some(&(_, prev)) => {
+                    prop_assert_eq!(prev, g, "same spec must re-intern to the same id");
+                    prop_assert!(!fresh);
+                }
+                None => {
+                    prop_assert!(fresh);
+                    prop_assert_eq!(g.index(), seen.len(), "ids are dense, first-seen order");
+                    seen.push((spec, g));
+                }
+            }
+            live.push(jobs.insert(i as u32));
+            if leave && !live.is_empty() {
+                let victim = live.swap_remove(i % live.len());
+                prop_assert!(jobs.remove(victim).is_some());
+            }
+        }
+        // The full mapping survives the churn intact.
+        for (spec, g) in seen {
+            prop_assert_eq!(interner.lookup(spec), Some(g));
+            prop_assert_eq!(interner.resolve(g), spec);
+        }
+    }
+
+    /// Slot-map generation safety: over any insert/remove sequence, live
+    /// handles always resolve to their own value and every handle whose
+    /// entry was removed is rejected forever — even after its slot index
+    /// has been reused.
+    #[test]
+    fn slot_map_rejects_stale_handles(
+        ops in proptest::collection::vec((0u8..2, 0usize..64), 1..200),
+    ) {
+        let mut map: SlotMap<u64> = SlotMap::new();
+        let mut live: Vec<(JobSlot, u64)> = Vec::new();
+        let mut stale: Vec<JobSlot> = Vec::new();
+        let mut next = 0u64;
+        for &(remove, pick) in &ops {
+            if remove == 1 && !live.is_empty() {
+                let (slot, value) = live.swap_remove(pick % live.len());
+                prop_assert_eq!(map.remove(slot), Some(value));
+                prop_assert_eq!(map.remove(slot), None, "double remove rejected");
+                stale.push(slot);
+            } else {
+                let slot = map.insert(next);
+                // A reused index must carry a fresh generation.
+                prop_assert!(stale.iter().all(|s| *s != slot));
+                live.push((slot, next));
+                next += 1;
+            }
+            prop_assert_eq!(map.len(), live.len());
+            for &(slot, value) in &live {
+                prop_assert_eq!(map.get(slot), Some(&value));
+            }
+            for &slot in &stale {
+                prop_assert_eq!(map.get(slot), None, "stale handle resolved");
+            }
+        }
+        // Storage stays dense: indices never exceed the high-water mark of
+        // simultaneously live entries... which the free list guarantees by
+        // construction; spot-check that live handles cover distinct indices.
+        let mut idx: Vec<usize> = live.iter().map(|(s, _)| s.index()).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        prop_assert_eq!(idx.len(), live.len());
+    }
+}
+
 // --- Exact solver vs fixed orders ------------------------------------------
 
 proptest! {
@@ -239,6 +331,6 @@ proptest! {
         for u in 0..v {
             prop_assert!(p.speedup(v, u) > 0.0);
         }
-        prop_assert!(venn::core::matching::decide_tier(&p, 1, 0, 1).is_none());
+        prop_assert!(venn::core::matching::decide_tier(&mut p, 1, 0, 1).is_none());
     }
 }
