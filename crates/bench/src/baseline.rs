@@ -71,7 +71,7 @@ pub struct BaselineRow {
 }
 
 /// Serializes a finite float with fixed decimals, or JSON `null`.
-fn json_num(v: f64, decimals: usize) -> String {
+pub(crate) fn json_num(v: f64, decimals: usize) -> String {
     if v.is_finite() {
         format!("{v:.decimals$}")
     } else {
@@ -180,6 +180,10 @@ pub fn baseline_json(
                 ",\n      \"events_per_sec\": {}",
                 json_num(events_per_sec, 0)
             ));
+            // Machine-dependent like wall time (and 0 unless the driving
+            // binary installs the tracking allocator), so it rides the
+            // same telemetry gate and deterministic documents omit it.
+            out.push_str(&format!(",\n      \"peak_bytes\": {}", r.result.peak_bytes));
         }
         out.push('\n');
         out.push_str(if i + 1 < rows.len() {
@@ -472,8 +476,10 @@ mod tests {
         assert!(json.contains("\"forced_offline\":"));
         assert!(json.contains("\"retries\":"));
         assert!(
-            !json.contains("wall_ms") && !json.contains("events_per_sec"),
-            "deterministic documents must omit timing telemetry"
+            !json.contains("wall_ms")
+                && !json.contains("events_per_sec")
+                && !json.contains("peak_bytes"),
+            "deterministic documents must omit timing/memory telemetry"
         );
         let (_, rows) = parse_baseline(&json).unwrap();
         assert_eq!(rows.len(), 1, "env counters must not derail row parsing");

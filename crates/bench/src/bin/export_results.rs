@@ -33,6 +33,11 @@ use venn_env::EnvPreset;
 use venn_metrics::csv::Csv;
 use venn_sim::QueueKind;
 
+// Opt into allocation tracking so the emitted `peak_bytes` telemetry is a
+// real per-run high-water mark (the runs are sequential, see below).
+#[global_allocator]
+static ALLOC: venn_metrics::alloc::TrackingAlloc = venn_metrics::alloc::TrackingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed: u64 = 42;

@@ -12,6 +12,7 @@
 //!           [--bias {general|compute|memory|resource}]
 //!           [--epsilon F] [--tiers N] [--async] [--overcommit F]
 //!           [--queue wheel|heap] [--no-gating]
+//!           [--pop eager|split-eager|lazy]
 //!           [--env off|flash-crowd|straggler-heavy|mass-dropout|chaos]
 //!           [--load FILE.tsv] [--save FILE.tsv] [--csv]
 //! ```
@@ -27,7 +28,7 @@ use venn_baselines::BaselineScheduler;
 use venn_core::{Scheduler, VennConfig, VennScheduler, MINUTE_MS};
 use venn_env::EnvPreset;
 use venn_metrics::csv::Csv;
-use venn_sim::{QueueKind, SimConfig, Simulation};
+use venn_sim::{PopMode, QueueKind, SimConfig, Simulation};
 use venn_traces::{io as wio, BiasKind, JobDemandModel, Workload, WorkloadKind};
 
 #[derive(Debug)]
@@ -45,6 +46,7 @@ struct Args {
     overcommit: f64,
     queue: QueueKind,
     demand_gating: bool,
+    pop_mode: PopMode,
     env: EnvPreset,
     load: Option<String>,
     save: Option<String>,
@@ -67,6 +69,7 @@ impl Default for Args {
             overcommit: 0.0,
             queue: QueueKind::Wheel,
             demand_gating: true,
+            pop_mode: PopMode::Eager,
             env: EnvPreset::Off,
             load: None,
             save: None,
@@ -140,6 +143,14 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--no-gating" => args.demand_gating = false,
+            "--pop" => {
+                args.pop_mode = match value("--pop")?.as_str() {
+                    "eager" => PopMode::Eager,
+                    "split-eager" => PopMode::SplitEager,
+                    "lazy" => PopMode::Lazy,
+                    other => return Err(format!("unknown pop mode {other:?}")),
+                }
+            }
             "--env" => {
                 let name = value("--env")?;
                 args.env = EnvPreset::parse(&name)
@@ -209,6 +220,7 @@ fn run(args: &Args) -> Result<(), String> {
         overcommit: args.overcommit,
         queue: args.queue,
         demand_gating: args.demand_gating,
+        pop_mode: args.pop_mode,
         env: args.env.config(),
         ..SimConfig::default()
     };
@@ -281,6 +293,7 @@ fn main() -> ExitCode {
                  [--population N] [--days N] [--seed N] [--workload even|small|large|low|high] \
                  [--bias general|compute|memory|resource] [--epsilon F] [--tiers N] \
                  [--async] [--overcommit F] [--queue wheel|heap] [--no-gating] \
+                 [--pop eager|split-eager|lazy] \
                  [--env off|flash-crowd|straggler-heavy|mass-dropout|chaos] \
                  [--load FILE.tsv] [--save FILE.tsv] [--csv]"
             );

@@ -14,6 +14,7 @@
 
 pub mod baseline;
 pub mod matrix;
+pub mod scale;
 
 pub use baseline::{
     baseline_json, baseline_kinds, baseline_rows, diff_rows, parse_arm_header, parse_baseline,
@@ -22,6 +23,10 @@ pub use baseline::{
 pub use matrix::{
     run_matrix, run_matrix_sequential, speedup_summary, with_baseline, Matrix, MatrixCell,
     MatrixRun, ScenarioSpeedups,
+};
+pub use scale::{
+    check_scale, parse_scale, run_scale_row, scale_experiment, scale_json, ScaleRow, SCALE_KINDS,
+    SCALE_POPULATIONS,
 };
 
 use rand::rngs::StdRng;

@@ -135,7 +135,16 @@ impl<'a> Matrix<'a> {
             .1;
         let experiment = make(cell.seed);
         let start = Instant::now();
-        let result = run(&experiment, cell.kind);
+        // Attribute the allocator high-water mark to this run. The
+        // counters are process-global, so the number is only a per-run
+        // figure under [`run_matrix_sequential`] (and only when the
+        // driving binary installs the tracking allocator — otherwise it
+        // stays 0, "not measured"); concurrent cells under [`run_matrix`]
+        // blend into a whole-sweep peak, which is still a usable
+        // memory-ceiling telemetry line.
+        venn_metrics::alloc::reset_peak();
+        let mut result = run(&experiment, cell.kind);
+        result.peak_bytes = venn_metrics::alloc::peak_bytes();
         MatrixRun {
             cell,
             result,

@@ -1,0 +1,133 @@
+//! A counting global allocator with a resettable high-water mark.
+//!
+//! Grown out of the steady-state no-allocation harness in
+//! `tests/no_alloc_steady_state.rs`: besides counting allocation *calls*
+//! (the steady-state invariant), [`TrackingAlloc`] tracks live bytes and
+//! their peak, so binaries can report an allocator high-water mark per
+//! run (`peak_bytes` in `SimResult` exports) — the memory axis of the
+//! `bench_scale` sweep.
+//!
+//! The library never installs the allocator; a binary or test that wants
+//! tracking opts in:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: venn_metrics::alloc::TrackingAlloc = venn_metrics::alloc::TrackingAlloc;
+//! ```
+//!
+//! With no tracker installed every probe reports 0, which downstream
+//! consumers treat as "not measured". Counters are global process state:
+//! concurrent measured regions would blend, so measurement belongs in
+//! single-run drivers (the bench binaries run one simulation at a time).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper counting calls, live bytes, and peak bytes.
+pub struct TrackingAlloc;
+
+impl TrackingAlloc {
+    fn on_alloc(size: usize) {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        let live = CURRENT_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+        PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn on_dealloc(size: usize) {
+        CURRENT_BYTES.fetch_sub(size as u64, Ordering::Relaxed);
+    }
+}
+
+// SAFETY: defers all allocation to `System`; the bookkeeping only touches
+// atomics and never allocates.
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            Self::on_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        Self::on_dealloc(layout.size());
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            // Count a realloc as one allocator call with the size delta
+            // applied to the live total.
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            let old = layout.size() as u64;
+            let new = new_size as u64;
+            if new >= old {
+                let live = CURRENT_BYTES.fetch_add(new - old, Ordering::Relaxed) + (new - old);
+                PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+            } else {
+                CURRENT_BYTES.fetch_sub(old - new, Ordering::Relaxed);
+            }
+        }
+        p
+    }
+}
+
+/// Total allocator calls (alloc + realloc) since process start; 0 when no
+/// [`TrackingAlloc`] is installed.
+pub fn allocation_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Live heap bytes right now; 0 when no tracker is installed.
+pub fn current_bytes() -> u64 {
+    CURRENT_BYTES.load(Ordering::Relaxed)
+}
+
+/// High-water mark of live heap bytes since process start (or the last
+/// [`reset_peak`]); 0 when no tracker is installed.
+pub fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Restarts the high-water mark at the current live total, so a driver
+/// can attribute a peak to one measured region (e.g. one simulation run).
+pub fn reset_peak() {
+    PEAK_BYTES.store(CURRENT_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    // The test binary does NOT install the tracker (that would perturb
+    // every other test's timing); these pin the uninstalled contract and
+    // the pure bookkeeping arithmetic.
+    use super::*;
+
+    // One test, not several: the counters are process-global, and
+    // parallel tests mutating them would race each other's assertions.
+    #[test]
+    fn bookkeeping_tracks_calls_live_and_peak() {
+        // Without `#[global_allocator]` the counters only move via the
+        // explicit hooks below; snapshot-and-compare keeps this test
+        // independent of anything the process did before it.
+        let calls = allocation_calls();
+        let live = current_bytes();
+        TrackingAlloc::on_alloc(1024);
+        assert_eq!(allocation_calls(), calls + 1);
+        assert_eq!(current_bytes(), live + 1024);
+        assert!(peak_bytes() >= live + 1024);
+        TrackingAlloc::on_dealloc(1024);
+        assert_eq!(current_bytes(), live);
+
+        TrackingAlloc::on_alloc(4096);
+        TrackingAlloc::on_dealloc(2048);
+        reset_peak();
+        assert_eq!(peak_bytes(), current_bytes(), "peak rebased to live");
+        TrackingAlloc::on_dealloc(2048);
+        assert_eq!(current_bytes(), live);
+    }
+}

@@ -27,6 +27,7 @@
 //! assert_eq!(s.percentile(50.0), 2.5);
 //! ```
 
+pub mod alloc;
 pub mod csv;
 pub mod env;
 pub mod histogram;

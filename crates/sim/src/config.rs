@@ -6,6 +6,39 @@ use venn_traces::{AvailabilityModel, CapacityModel};
 
 use crate::event::QueueKind;
 
+/// How the device population is generated and stored.
+///
+/// The three arms trade determinism lineage against scale:
+///
+/// * [`PopMode::Eager`] (default) draws profiles and sessions from the
+///   one sequential run RNG — byte-identical to every historical result.
+///   Since the streaming refactor its session *enqueue* is incremental
+///   (one pending `SessionStart` at a time under reserved seqs), so only
+///   `peak_queue_len` differs from the original bulk-enqueue kernel;
+///   every event, draw, and JCT field is unchanged.
+/// * [`PopMode::SplitEager`] draws every device up front from per-device
+///   split RNG streams ([`venn_traces::stream`]) and feeds session starts
+///   through the cohort wheel. It exists as the dense, fully-materialized
+///   parity reference for the lazy arm.
+/// * [`PopMode::Lazy`] uses the same split streams but materializes a
+///   `DeviceState` only when a device's session actually begins (or an
+///   environment fault individually disturbs it), retiring it once the
+///   device is idle past its session end — memory is O(active ∪ assigned)
+///   instead of O(population). Byte-identical to `SplitEager` by
+///   construction (pinned by `tests/lazy_parity.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PopMode {
+    /// Sequential draws, dense storage — the legacy-deterministic arm.
+    #[default]
+    Eager,
+    /// Per-device split streams, dense storage — the lazy arm's parity
+    /// reference.
+    SplitEager,
+    /// Per-device split streams, cohort-compressed lazy storage —
+    /// O(active) memory, the million-device arm.
+    Lazy,
+}
+
 /// All knobs of one simulation run.
 ///
 /// Defaults reproduce the paper's setup at a laptop-tractable scale (see
@@ -77,6 +110,11 @@ pub struct SimConfig {
     /// bit-identical to the pre-environment kernel and parity-pinned
     /// against the committed benchmark baseline.
     pub env: EnvConfig,
+    /// Population generation/storage mode (see [`PopMode`]). The default
+    /// eager arm preserves the historical sequential RNG lineage; the
+    /// split arms trade that lineage for per-device streams that scale to
+    /// millions of devices.
+    pub pop_mode: PopMode,
 }
 
 impl Default for SimConfig {
@@ -110,6 +148,7 @@ impl Default for SimConfig {
             queue: QueueKind::Wheel,
             demand_gating: true,
             env: EnvConfig::off(),
+            pop_mode: PopMode::Eager,
         }
     }
 }

@@ -1,14 +1,48 @@
 //! The device population: availability sessions, busy flags, and the
 //! one-task-per-day realism cap.
+//!
+//! Two storage arms back the pool:
+//!
+//! * **Dense** — one `DeviceState` per population index, fully
+//!   materialized at construction. Used by
+//!   [`PopMode::Eager`](crate::config::PopMode::Eager) and
+//!   [`PopMode::SplitEager`](crate::config::PopMode::SplitEager).
+//! * **Lazy** — a slot table of `Option<Box<DeviceState>>` plus a small
+//!   durable overlay. A device materializes (profile drawn from its own
+//!   split RNG stream, a pure function of `(seed, device)`) the first
+//!   time a session begins, and *retires* — its slot freed, its durable
+//!   facts (daily-cap day, hold generation) parked in the overlay — once
+//!   it is idle past its session end. Live state is O(active ∪ assigned);
+//!   the per-device fixed cost is one pointer-sized slot.
+//!
+//! Retirement is driven by *retire notes*: every code path that ends a
+//! device's activity (a poll chain dying, a release, a hold expiry)
+//! drops a `(session_end, device)` note into a min-heap, and the world
+//! sweeps due notes once per event. Notes are hints, not commands — the
+//! sweep re-validates (still present, idle, session really over) before
+//! retiring, so stale notes from extended sessions are simply dropped.
+//! Retiring only ever removes state that is *scheduler-invisible* (an
+//! offline idle device can neither poll nor be drawn as a disturbance
+//! victim), which is why the lazy arm stays byte-identical to the dense
+//! split arm.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use venn_core::{DeviceId, DeviceInfo, SimTime, DAY_MS};
-use venn_traces::DeviceProfile;
+use venn_traces::{CapacityModel, DeviceProfile};
 
 /// Per-device simulation state.
 #[derive(Debug)]
 pub struct DeviceState {
-    /// Static capacity/speed profile sampled at world construction.
+    /// Static capacity/speed profile (sampled at world construction on
+    /// the dense arms, from the device's split stream at materialization
+    /// on the lazy arm).
     pub profile: DeviceProfile,
+    /// Scheduler-facing identity/capacity view, derived from `profile`
+    /// once per materialization — check-ins are the kernel's hottest path
+    /// and must not reconstruct a `DeviceInfo` per poll.
+    pub info: DeviceInfo,
     /// End of the current availability session (0 = offline).
     pub session_end: SimTime,
     /// Held by a job or computing.
@@ -27,12 +61,65 @@ pub struct DeviceState {
     /// Hold-generation counter, bumped on every [`DevicePool::mark_held`].
     /// A pending `HoldExpire` only releases when its recorded generation
     /// still matches — environment faults can release holds early, which
-    /// would otherwise let the stale expiry free a *new* hold.
+    /// would otherwise let the stale expiry free a *new* hold. Survives
+    /// retirement via the durable overlay: a re-materialized device must
+    /// not restart the counter under stale expiries still in flight.
     pub hold_seq: u64,
     /// Set when an environment fault forced the device offline while it
     /// was computing: its in-flight response must be counted as a
     /// failure when it arrives. Never set on the env-off arm.
     pub failed_task: bool,
+}
+
+impl DeviceState {
+    fn fresh(device: usize, profile: DeviceProfile) -> Self {
+        DeviceState {
+            info: DeviceInfo::new(DeviceId::new(device as u64), profile.capacity),
+            profile,
+            session_end: 0,
+            busy: false,
+            last_task_day: None,
+            held_slot: 0,
+            held: false,
+            held_job: 0,
+            hold_seq: 0,
+            failed_task: false,
+        }
+    }
+}
+
+/// The facts that must survive a device's retirement: the daily-cap day
+/// (a re-materialized device must still refuse a second same-day task)
+/// and the hold generation (stale `HoldExpire` events must keep failing
+/// their guard). Everything else about a retired device is derivable
+/// (profile, from its split stream) or definitionally reset (offline,
+/// idle).
+#[derive(Debug, Clone, Copy, Default)]
+struct Durable {
+    last_task_day: Option<u64>,
+    hold_seq: u64,
+}
+
+/// The lazy (cohort-compressed) storage arm.
+#[derive(Debug)]
+struct LazyStore {
+    /// One slot per population index; `None` = not materialized.
+    slots: Vec<Option<Box<DeviceState>>>,
+    /// Durable facts of retired devices (only devices that ever computed
+    /// or held have an entry — the overlay stays O(assigned-ever)).
+    durable: HashMap<u32, Durable>,
+    /// Pending `(session_end, device)` retirement hints, swept per event.
+    retire_notes: BinaryHeap<Reverse<(SimTime, u32)>>,
+    capacity: CapacityModel,
+    seed: u64,
+    live: usize,
+    peak_live: usize,
+}
+
+#[derive(Debug)]
+enum Store {
+    Dense(Vec<DeviceState>),
+    Lazy(LazyStore),
 }
 
 /// All devices of one simulated world, indexed by population index.
@@ -42,79 +129,150 @@ pub struct DeviceState {
 /// through these named operations, which keeps every lifecycle rule
 /// (sessions only extend, a busy device never checks in, one task per
 /// day) in one place.
+///
+/// Absent (never-materialized or retired) devices on the lazy arm answer
+/// read queries exactly like offline idle devices — `session_end` 0,
+/// `can_check_in` false, `hold_is_current` false — which is precisely
+/// the state a dense arm would report for them, so the event handlers
+/// need no lazy-awareness.
 #[derive(Debug)]
 pub struct DevicePool {
-    devices: Vec<DeviceState>,
-    /// Scheduler-facing views, built once — check-ins are the kernel's
-    /// hottest path and must not reconstruct a `DeviceInfo` per poll.
-    infos: Vec<DeviceInfo>,
+    store: Store,
+    population: usize,
 }
 
 impl DevicePool {
-    /// Builds the pool from sampled capacity profiles; all devices start
-    /// offline and idle.
+    /// Builds a dense pool from sampled capacity profiles; all devices
+    /// start offline and idle.
     pub fn new(profiles: Vec<DeviceProfile>) -> Self {
-        let infos = profiles
-            .iter()
-            .enumerate()
-            .map(|(i, p)| DeviceInfo::new(DeviceId::new(i as u64), p.capacity))
-            .collect();
+        let population = profiles.len();
         DevicePool {
-            devices: profiles
-                .into_iter()
-                .map(|profile| DeviceState {
-                    profile,
-                    session_end: 0,
-                    busy: false,
-                    last_task_day: None,
-                    held_slot: 0,
-                    held: false,
-                    held_job: 0,
-                    hold_seq: 0,
-                    failed_task: false,
-                })
-                .collect(),
-            infos,
+            store: Store::Dense(
+                profiles
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, profile)| DeviceState::fresh(i, profile))
+                    .collect(),
+            ),
+            population,
         }
     }
 
-    /// Number of devices in the population.
+    /// Builds a lazy pool: no device is materialized until its first
+    /// session begins. Profiles come from per-device split RNG streams
+    /// ([`CapacityModel::sample_device`]), so materialization order is
+    /// irrelevant to the drawn state.
+    pub fn lazy(capacity: CapacityModel, seed: u64, population: usize) -> Self {
+        DevicePool {
+            store: Store::Lazy(LazyStore {
+                slots: (0..population).map(|_| None).collect(),
+                durable: HashMap::new(),
+                retire_notes: BinaryHeap::new(),
+                capacity,
+                seed,
+                live: 0,
+                peak_live: 0,
+            }),
+            population,
+        }
+    }
+
+    /// Number of devices in the population (materialized or not).
     pub fn len(&self) -> usize {
-        self.devices.len()
+        self.population
     }
 
     /// Whether the population is empty.
     pub fn is_empty(&self) -> bool {
-        self.devices.is_empty()
+        self.population == 0
+    }
+
+    /// Whether this pool uses the lazy storage arm.
+    pub fn is_lazy(&self) -> bool {
+        matches!(self.store, Store::Lazy(_))
+    }
+
+    /// Currently materialized devices (== population on the dense arms).
+    pub fn live_devices(&self) -> usize {
+        match &self.store {
+            Store::Dense(v) => v.len(),
+            Store::Lazy(l) => l.live,
+        }
+    }
+
+    /// High-water mark of materialized devices (== population on the
+    /// dense arms) — the "O(active)" the scale benchmark reports.
+    pub fn peak_live_devices(&self) -> usize {
+        match &self.store {
+            Store::Dense(v) => v.len(),
+            Store::Lazy(l) => l.peak_live,
+        }
+    }
+
+    #[inline]
+    fn state(&self, device: usize) -> Option<&DeviceState> {
+        match &self.store {
+            Store::Dense(v) => Some(&v[device]),
+            Store::Lazy(l) => l.slots[device].as_deref(),
+        }
+    }
+
+    #[inline]
+    fn state_mut(&mut self, device: usize) -> Option<&mut DeviceState> {
+        match &mut self.store {
+            Store::Dense(v) => Some(&mut v[device]),
+            Store::Lazy(l) => l.slots[device].as_deref_mut(),
+        }
+    }
+
+    #[inline]
+    fn expect_mut(&mut self, device: usize) -> &mut DeviceState {
+        self.state_mut(device)
+            .expect("operation on a device that is not materialized")
     }
 
     /// Read access to one device.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the lazy arm if the device is not materialized — every
+    /// caller reaches `get` through a guard (busy, or `session_end > now`)
+    /// that implies materialization.
     pub fn get(&self, device: usize) -> &DeviceState {
-        &self.devices[device]
+        self.state(device)
+            .expect("read of a device that is not materialized")
     }
 
     /// The scheduler-facing identity/capacity view of a device (cached at
-    /// construction — no per-check-in rebuild).
+    /// materialization — no per-check-in rebuild).
     pub fn info(&self, device: usize) -> &DeviceInfo {
-        &self.infos[device]
+        &self.get(device).info
     }
 
     /// An availability session begins (or overlaps): the session end only
-    /// ever extends, never shrinks.
+    /// ever extends, never shrinks. On the lazy arm this is the
+    /// materialization point — the device's profile is drawn from its
+    /// split stream and its durable facts are restored.
     pub fn begin_session(&mut self, device: usize, session_end: SimTime) {
-        let d = &mut self.devices[device];
+        let d = match &mut self.store {
+            Store::Dense(v) => &mut v[device],
+            Store::Lazy(l) => l.materialize(device),
+        };
         d.session_end = d.session_end.max(session_end);
     }
 
-    /// End of the device's current session.
+    /// End of the device's current session (0 = offline or retired).
     pub fn session_end(&self, device: usize) -> SimTime {
-        self.devices[device].session_end
+        self.state(device).map_or(0, |d| d.session_end)
     }
 
     /// Whether the device may poll the resource manager at `now`: online,
-    /// idle, and (if the cap is enforced) not already used today.
+    /// idle, and (if the cap is enforced) not already used today. Absent
+    /// devices are offline, hence `false`.
     pub fn can_check_in(&self, device: usize, now: SimTime, one_task_per_day: bool) -> bool {
-        let d = &self.devices[device];
+        let Some(d) = self.state(device) else {
+            return false;
+        };
         if d.busy || now >= d.session_end {
             return false;
         }
@@ -124,7 +282,7 @@ impl DevicePool {
     /// Marks the device computing (async-mode assignment — no holding
     /// phase).
     pub fn mark_busy(&mut self, device: usize) {
-        let d = &mut self.devices[device];
+        let d = self.expect_mut(device);
         d.busy = true;
         d.held = false;
     }
@@ -133,7 +291,7 @@ impl DevicePool {
     /// hold list so a later release is O(1), and returns the new hold
     /// generation (carried by the matching `HoldExpire` event).
     pub fn mark_held(&mut self, device: usize, job: usize, held_slot: usize) -> u64 {
-        let d = &mut self.devices[device];
+        let d = self.expect_mut(device);
         d.busy = true;
         d.held = true;
         d.held_job = job;
@@ -145,26 +303,27 @@ impl DevicePool {
     /// The device's slot in the holding job's hold list (set by
     /// [`mark_held`](Self::mark_held)).
     pub fn held_slot(&self, device: usize) -> usize {
-        self.devices[device].held_slot
+        self.get(device).held_slot
     }
 
     /// Whether the device is still in the hold instance identified by
     /// `hold_seq` (the guard a `HoldExpire` must pass before releasing).
+    /// Absent devices hold nothing.
     pub fn hold_is_current(&self, device: usize, hold_seq: u64) -> bool {
-        let d = &self.devices[device];
-        d.busy && d.held && d.hold_seq == hold_seq
+        self.state(device)
+            .is_some_and(|d| d.busy && d.held && d.hold_seq == hold_seq)
     }
 
     /// The device leaves its holding phase and starts computing (round
     /// start): still busy, no longer *held*.
     pub fn begin_compute(&mut self, device: usize) {
-        self.devices[device].held = false;
+        self.expect_mut(device).held = false;
     }
 
     /// Returns the device to the idle pool (response, failure, or hold
     /// release).
     pub fn release(&mut self, device: usize) {
-        let d = &mut self.devices[device];
+        let d = self.expect_mut(device);
         d.busy = false;
         d.held = false;
     }
@@ -174,25 +333,105 @@ impl DevicePool {
     /// rule is deliberately broken, which is why parked check-ins
     /// re-validate their session before replaying.
     pub fn force_offline(&mut self, device: usize, now: SimTime) {
-        let d = &mut self.devices[device];
+        let d = self.expect_mut(device);
         d.session_end = d.session_end.min(now);
     }
 
     /// Flags an in-flight computation as failed (the device was forced
     /// offline while computing); its response must not count.
     pub fn mark_failed_task(&mut self, device: usize) {
-        self.devices[device].failed_task = true;
+        self.expect_mut(device).failed_task = true;
     }
 
     /// Consumes the failed-task flag, returning whether it was set.
     pub fn take_failed_task(&mut self, device: usize) -> bool {
-        std::mem::take(&mut self.devices[device].failed_task)
+        std::mem::take(&mut self.expect_mut(device).failed_task)
     }
 
     /// Records that the device computed a task today (daily-cap
     /// bookkeeping).
     pub fn note_task(&mut self, device: usize, now: SimTime) {
-        self.devices[device].last_task_day = Some(now / DAY_MS);
+        self.expect_mut(device).last_task_day = Some(now / DAY_MS);
+    }
+
+    /// Hints that `device` may be retirable: if it is already idle past
+    /// its session end it retires immediately, otherwise a note is filed
+    /// for [`sweep_retire`](Self::sweep_retire) at its session end. The
+    /// world calls this wherever a device's activity ends (poll-chain
+    /// death, release, parked-poll death). No-op on the dense arms.
+    pub fn note_possible_retire(&mut self, device: usize, now: SimTime) {
+        let Store::Lazy(l) = &mut self.store else {
+            return;
+        };
+        let Some(d) = l.slots[device].as_deref() else {
+            return;
+        };
+        if !d.busy && d.session_end <= now {
+            l.retire(device);
+        } else {
+            l.retire_notes.push(Reverse((d.session_end, device as u32)));
+        }
+    }
+
+    /// Retires every noted device whose session end has passed and that
+    /// is still present and idle. Stale notes (session extended since the
+    /// note, device busy again, already retired) are dropped — the next
+    /// activity end files a fresh note. O(due notes) per call with an
+    /// O(1) peek when nothing is due; no-op on the dense arms.
+    pub fn sweep_retire(&mut self, now: SimTime) {
+        let Store::Lazy(l) = &mut self.store else {
+            return;
+        };
+        while let Some(&Reverse((end, device))) = l.retire_notes.peek() {
+            if end > now {
+                break;
+            }
+            l.retire_notes.pop();
+            let retire = l.slots[device as usize]
+                .as_deref()
+                .is_some_and(|d| !d.busy && d.session_end <= now);
+            if retire {
+                l.retire(device as usize);
+            }
+        }
+    }
+}
+
+impl LazyStore {
+    /// Materializes `device` if absent: profile from its split stream
+    /// (touch-order independent by construction), durable facts restored
+    /// from the overlay.
+    fn materialize(&mut self, device: usize) -> &mut DeviceState {
+        if self.slots[device].is_none() {
+            let profile = self.capacity.sample_device(self.seed, device);
+            let mut state = DeviceState::fresh(device, profile);
+            if let Some(d) = self.durable.get(&(device as u32)) {
+                state.last_task_day = d.last_task_day;
+                state.hold_seq = d.hold_seq;
+            }
+            self.slots[device] = Some(Box::new(state));
+            self.live += 1;
+            self.peak_live = self.peak_live.max(self.live);
+        }
+        self.slots[device]
+            .as_deref_mut()
+            .expect("just materialized")
+    }
+
+    /// Frees the device's slot, parking its durable facts. Caller has
+    /// verified the device is present, idle, and past its session end.
+    fn retire(&mut self, device: usize) {
+        let state = self.slots[device].take().expect("retire of absent device");
+        self.live -= 1;
+        if state.last_task_day.is_some() || state.hold_seq > 0 {
+            self.durable.insert(
+                device as u32,
+                Durable {
+                    last_task_day: state.last_task_day,
+                    hold_seq: state.hold_seq,
+                },
+            );
+        }
     }
 }
 
@@ -210,6 +449,10 @@ mod tests {
                 })
                 .collect(),
         )
+    }
+
+    fn lazy_pool(n: usize) -> DevicePool {
+        DevicePool::lazy(CapacityModel::default(), 42, n)
     }
 
     #[test]
@@ -282,5 +525,90 @@ mod tests {
         let info = p.info(2);
         assert_eq!(info.id().as_u64(), 2);
         assert_eq!(*info.capacity(), p.get(2).profile.capacity);
+    }
+
+    #[test]
+    fn lazy_pool_materializes_on_first_session() {
+        let mut p = lazy_pool(100);
+        assert_eq!(p.live_devices(), 0);
+        assert_eq!(p.len(), 100);
+        assert_eq!(p.session_end(7), 0, "absent device reads as offline");
+        assert!(!p.can_check_in(7, 0, true));
+        assert!(!p.hold_is_current(7, 1));
+        p.begin_session(7, 10_000);
+        assert_eq!(p.live_devices(), 1);
+        assert!(p.can_check_in(7, 5_000, true));
+        assert_eq!(p.info(7).id().as_u64(), 7);
+    }
+
+    #[test]
+    fn lazy_profiles_are_touch_order_independent() {
+        let mut a = lazy_pool(50);
+        let mut b = lazy_pool(50);
+        // Touch in opposite orders; profiles must match exactly.
+        for d in 0..50 {
+            a.begin_session(d, 1_000);
+        }
+        for d in (0..50).rev() {
+            b.begin_session(d, 1_000);
+        }
+        for d in 0..50 {
+            assert_eq!(a.get(d).profile, b.get(d).profile, "device {d}");
+        }
+        // And match the dense split arm.
+        let dense = DevicePool::new(
+            (0..50)
+                .map(|d| CapacityModel::default().sample_device(42, d))
+                .collect(),
+        );
+        for d in 0..50 {
+            assert_eq!(a.get(d).profile, dense.get(d).profile, "device {d}");
+        }
+    }
+
+    #[test]
+    fn retire_frees_the_slot_and_preserves_durables() {
+        let mut p = lazy_pool(10);
+        p.begin_session(3, 5_000);
+        p.note_task(3, 1_000);
+        let g = p.mark_held(3, 0, 0);
+        p.release(3);
+        // Idle past session end: the note retires it immediately.
+        p.note_possible_retire(3, 6_000);
+        assert_eq!(p.live_devices(), 0);
+        assert_eq!(p.session_end(3), 0);
+        assert!(!p.hold_is_current(3, g), "retired devices hold nothing");
+        // Re-materialize: durable facts survive.
+        p.begin_session(3, 90_000_000);
+        assert_eq!(p.get(3).last_task_day, Some(0), "daily cap survives");
+        assert!(!p.can_check_in(3, 10_000, true), "cap still applies today");
+        assert!(p.can_check_in(3, DAY_MS + 1, true), "next day resets");
+        let g2 = p.mark_held(3, 0, 0);
+        assert!(g2 > g, "hold generations never restart");
+    }
+
+    #[test]
+    fn sweep_retires_only_dormant_past_end_devices() {
+        let mut p = lazy_pool(10);
+        p.begin_session(0, 5_000);
+        p.begin_session(1, 5_000);
+        p.note_possible_retire(0, 1_000); // files a note at end 5_000
+        p.note_possible_retire(1, 1_000);
+        p.begin_session(1, 20_000); // session 1 extends past the note
+        p.sweep_retire(4_999);
+        assert_eq!(p.live_devices(), 2, "nothing due yet");
+        p.sweep_retire(5_000);
+        assert_eq!(p.live_devices(), 1, "device 0 retired at its end");
+        assert_eq!(p.session_end(1), 20_000, "extended session survives");
+        // Busy devices never retire, even past their end.
+        p.mark_busy(1);
+        p.note_possible_retire(1, 30_000);
+        p.sweep_retire(30_000);
+        assert_eq!(p.live_devices(), 1);
+        // Released after the end: immediate retirement.
+        p.release(1);
+        p.note_possible_retire(1, 30_000);
+        assert_eq!(p.live_devices(), 0);
+        assert_eq!(p.peak_live_devices(), 2);
     }
 }

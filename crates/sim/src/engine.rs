@@ -535,7 +535,8 @@ mod tests {
             + trace.responses
             + trace.assign_failures
             + trace.round_deadlines
-            + trace.round_starts;
+            + trace.round_starts
+            + trace.cohort_wakes;
         assert_eq!(by_kind, trace.total);
         assert!(trace.session_starts > 0);
         assert!(trace.responses > 0);

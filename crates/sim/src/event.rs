@@ -80,6 +80,11 @@ pub enum EventKind {
     RoundDeadline { job: JobId, epoch: u32 },
     /// A job starts its next round (after aggregation or an abort).
     RoundStart { job_idx: usize },
+    /// The next session start of a device cohort is due (streamed split
+    /// population modes only): the world drains every due device from the
+    /// cohort's session heap, begins their sessions, and re-arms one wake
+    /// at the cohort's new earliest start. Never emitted on the eager arm.
+    CohortWake { cohort: usize },
 }
 
 /// A scheduled event. Ordered by time, then by insertion sequence so

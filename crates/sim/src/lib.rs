@@ -29,6 +29,7 @@
 //! println!("finished {} jobs", result.breakdown().finished());
 //! ```
 
+pub mod cohort;
 pub mod config;
 pub mod device_pool;
 pub mod engine;
@@ -38,7 +39,8 @@ pub mod observer;
 pub mod result;
 pub mod world;
 
-pub use config::SimConfig;
+pub use cohort::CohortSet;
+pub use config::{PopMode, SimConfig};
 pub use device_pool::{DevicePool, DeviceState};
 pub use engine::Simulation;
 pub use event::{Event, EventKind, EventQueue, QueueKind};

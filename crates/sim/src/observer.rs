@@ -67,6 +67,8 @@ pub struct EventTrace {
     pub round_deadlines: u64,
     /// `RoundStart` events.
     pub round_starts: u64,
+    /// `CohortWake` events (always 0 on the eager arm).
+    pub cohort_wakes: u64,
 }
 
 impl SimObserver for EventTrace {
@@ -82,6 +84,7 @@ impl SimObserver for EventTrace {
             EventKind::AssignFailure { .. } => self.assign_failures += 1,
             EventKind::RoundDeadline { .. } => self.round_deadlines += 1,
             EventKind::RoundStart { .. } => self.round_starts += 1,
+            EventKind::CohortWake { .. } => self.cohort_wakes += 1,
         }
     }
 }

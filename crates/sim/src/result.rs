@@ -38,12 +38,18 @@ pub struct SimResult {
     /// events-per-second throughput metric.
     pub events: u64,
     /// High-water mark of the pending-event queue — queue-pressure
-    /// telemetry for the benchmark baseline. At paper scale it is set by
-    /// the initialization burst (every future availability session is
-    /// enqueued up front), which is exactly the far-future load the
-    /// timing wheel keeps out of the hot tiers. The wheel/heap arms agree
-    /// on it bit for bit.
+    /// telemetry for the benchmark baseline. Since session starts are
+    /// streamed (one pending `SessionStart` at a time on the eager arm,
+    /// one `CohortWake` per cohort on the split arms) this tracks live
+    /// concurrency — in-flight tasks, holds, and repolls — not population
+    /// size. The wheel/heap arms agree on it bit for bit.
     pub peak_queue_len: u64,
+    /// Allocator high-water mark (bytes) over the run, measured by the
+    /// `venn-metrics` tracking allocator when the driving binary installs
+    /// it ([`venn_metrics::alloc`]); 0 when no tracker is installed.
+    /// Machine-dependent telemetry like wall time — deterministic exports
+    /// omit it.
+    pub peak_bytes: u64,
     /// Environment-dynamics telemetry (`venn-env`): dropouts, forced
     /// offlines, storm aborts, retries, per-tier response histograms.
     /// Stays at the empty default on the env-off arm.

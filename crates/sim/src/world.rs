@@ -27,7 +27,8 @@ use venn_metrics::EnvStats;
 use venn_traces::dist::LogNormal;
 use venn_traces::Workload;
 
-use crate::config::SimConfig;
+use crate::cohort::CohortSet;
+use crate::config::{PopMode, SimConfig};
 use crate::device_pool::DevicePool;
 use crate::event::{Event, EventKind, EventQueue};
 use crate::job_table::{JobPhase, JobTable};
@@ -56,6 +57,60 @@ struct ParkedPoll {
     device: usize,
 }
 
+/// One future `SessionStart`, streamed into the queue one at a time.
+#[derive(Debug, Clone, Copy)]
+struct StreamEntry {
+    start: SimTime,
+    /// Session end, already horizon-clamped.
+    end: SimTime,
+    device: u32,
+    /// Reserved insertion seq (meaningful only on a reserved stream).
+    seq: u64,
+}
+
+/// A sorted list of future session starts fed into the event queue
+/// one entry at a time: the next entry is pushed when the previous one
+/// dispatches, so the queue never holds more than one pending stream
+/// session — `peak_queue_len` tracks live concurrency, not trace size.
+///
+/// Two uses. On the eager arm the stream carries *every* session
+/// (base + environment extras) under seqs reserved in the exact legacy
+/// push order, so the `(time, seq)` total order — and with it every
+/// event, draw, and tie-break — is byte-identical to the historical
+/// bulk-enqueue kernel; only the queue's high-water mark changes.
+/// Feeding entries in `(start, seq)` order keeps every push legal (an
+/// entry pushed at its predecessor's dispatch time never lands before
+/// the queue's drain cursor, because no seq fits between consecutive
+/// stream keys). On the split arms base sessions flow through the
+/// cohort wheel instead and the stream carries only environment extras,
+/// as plain pushes.
+#[derive(Debug, Default)]
+struct SessionStream {
+    /// Entries sorted ascending by the order they must enter the queue.
+    entries: Vec<StreamEntry>,
+    cursor: usize,
+    /// Whether entries carry pre-reserved seqs (eager arm).
+    reserved: bool,
+}
+
+impl SessionStream {
+    /// Pushes the next pending session, if any.
+    fn push_next(&mut self, queue: &mut EventQueue) {
+        if let Some(e) = self.entries.get(self.cursor).copied() {
+            self.cursor += 1;
+            let kind = EventKind::SessionStart {
+                device: e.device as usize,
+                session_end: e.end,
+            };
+            if self.reserved {
+                queue.push_reserved(e.start, e.seq, kind);
+            } else {
+                queue.push(e.start, kind);
+            }
+        }
+    }
+}
+
 /// One simulated world: all mutable state of a run plus its immutable
 /// environment (config and workload).
 #[derive(Debug)]
@@ -80,6 +135,15 @@ pub struct World<'w> {
     /// never in `rng`, so enabling a scenario cannot shift the kernel's
     /// response-noise draws.
     env: Option<EnvRuntime>,
+    /// Streamed session source of the split population modes (`None` on
+    /// the eager arm): per-device cursors into the split availability
+    /// streams, one upcoming session per device, one pending `CohortWake`
+    /// per cohort. Boxed and `take()`n during wake handling so the drain
+    /// loop can call back into `&mut self` handlers.
+    cohorts: Option<Box<CohortSet>>,
+    /// Future `SessionStart`s fed into the queue one at a time (all
+    /// sessions on the eager arm; environment extras on the split arms).
+    session_stream: SessionStream,
     rng: StdRng,
     noise: LogNormal,
     result: SimResult,
@@ -93,49 +157,112 @@ impl<'w> World<'w> {
     pub fn new(config: SimConfig, workload: &'w Workload, scheduler_name: &str) -> Self {
         let horizon = config.horizon_ms();
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let profiles = config
-            .capacity
-            .sample_population(config.population, &mut rng);
-        let sessions = config
-            .availability
-            .generate(config.population, config.days, &mut rng);
         let noise = LogNormal::from_mean_cv(1.0, config.response_noise_cv.max(1e-6));
         let env = config.env.compile(config.population, horizon, config.seed);
 
         let mut queue = EventQueue::with_kind(config.queue);
-        for s in &sessions {
-            // Churn clips base sessions to each device's active window
-            // (late joiners, permanent leavers). Env-off passes through.
-            let (start, end) = match &env {
-                Some(e) => match e.clip_session(s.device, s.start, s.end) {
-                    Some(w) => w,
-                    None => continue,
-                },
-                None => (s.start, s.end),
-            };
-            if start < horizon {
-                queue.push(
-                    start,
-                    EventKind::SessionStart {
-                        device: s.device,
-                        session_end: end.min(horizon),
-                    },
-                );
-            }
-        }
-        if let Some(e) = &env {
-            for s in e.extra_sessions() {
-                if s.start < horizon {
-                    queue.push(
-                        s.start,
-                        EventKind::SessionStart {
-                            device: s.device,
-                            session_end: s.end.min(horizon),
+        let mut session_stream = SessionStream::default();
+        let mut cohorts = None;
+        let devices = match config.pop_mode {
+            PopMode::Eager => {
+                // The legacy sequential lineage: profiles then sessions
+                // from the one run RNG, so every later noise draw matches
+                // the historical kernel bit for bit.
+                let profiles = config
+                    .capacity
+                    .sample_population(config.population, &mut rng);
+                let sessions =
+                    config
+                        .availability
+                        .generate(config.population, config.days, &mut rng);
+                session_stream.reserved = true;
+                for s in &sessions {
+                    // Churn clips base sessions to each device's active
+                    // window (late joiners, permanent leavers). Env-off
+                    // passes through. A clipped-away or post-horizon
+                    // session consumed no seq historically either (it was
+                    // simply never pushed).
+                    let (start, end) = match &env {
+                        Some(e) => match e.clip_session(s.device, s.start, s.end) {
+                            Some(w) => w,
+                            None => continue,
                         },
-                    );
+                        None => (s.start, s.end),
+                    };
+                    if start < horizon {
+                        session_stream.entries.push(StreamEntry {
+                            start,
+                            end: end.min(horizon),
+                            device: s.device as u32,
+                            seq: queue.reserve_seq(),
+                        });
+                    }
+                }
+                if let Some(e) = &env {
+                    for s in e.extra_sessions() {
+                        if s.start < horizon {
+                            session_stream.entries.push(StreamEntry {
+                                start: s.start,
+                                end: s.end.min(horizon),
+                                device: s.device as u32,
+                                seq: queue.reserve_seq(),
+                            });
+                        }
+                    }
+                }
+                // Queue pop order is `(time, seq)`; feeding entries in
+                // that order keeps every streamed push ahead of the drain
+                // cursor.
+                session_stream.entries.sort_by_key(|e| (e.start, e.seq));
+                DevicePool::new(profiles)
+            }
+            PopMode::SplitEager | PopMode::Lazy => {
+                // Split lineage: per-device streams, base sessions through
+                // the cohort wheel, `rng` untouched (it only feeds
+                // response noise from here on) — so the two split arms
+                // share one event stream by construction.
+                let set = CohortSet::new(
+                    config.availability,
+                    config.seed,
+                    config.days,
+                    horizon,
+                    config.population,
+                    env.as_ref(),
+                );
+                for cohort in 0..set.cohort_count() {
+                    if let Some(t) = set.next_wake(cohort) {
+                        queue.push(t, EventKind::CohortWake { cohort });
+                    }
+                }
+                cohorts = Some(Box::new(set));
+                if let Some(e) = &env {
+                    session_stream.entries = e
+                        .extra_sessions()
+                        .iter()
+                        .filter(|s| s.start < horizon)
+                        .map(|s| StreamEntry {
+                            start: s.start,
+                            end: s.end.min(horizon),
+                            device: s.device as u32,
+                            seq: 0,
+                        })
+                        .collect();
+                    session_stream
+                        .entries
+                        .sort_by_key(|e| (e.start, e.device, e.end));
+                }
+                if config.pop_mode == PopMode::SplitEager {
+                    DevicePool::new(
+                        (0..config.population)
+                            .map(|d| config.capacity.sample_device(config.seed, d))
+                            .collect(),
+                    )
+                } else {
+                    DevicePool::lazy(config.capacity, config.seed, config.population)
                 }
             }
-        }
+        };
+        session_stream.push_next(&mut queue);
         for (idx, plan) in workload.jobs.iter().enumerate() {
             if plan.arrival_ms < horizon {
                 queue.push(plan.arrival_ms, EventKind::JobArrival { job_idx: idx });
@@ -154,11 +281,13 @@ impl<'w> World<'w> {
             None => EnvStats::default(),
         };
         World {
-            devices: DevicePool::new(profiles),
+            devices,
             jobs: JobTable::new(workload, config.thresholds),
             queue,
             parked: VecDeque::new(),
             env,
+            cohorts,
+            session_stream,
             rng,
             noise,
             result: SimResult {
@@ -187,6 +316,12 @@ impl<'w> World<'w> {
         self.result.events
     }
 
+    /// The device pool — read-only telemetry access (e.g. live/peak
+    /// materialized-device counts on the lazy storage arm).
+    pub fn devices(&self) -> &DevicePool {
+        &self.devices
+    }
+
     /// Pops and dispatches the next event. Returns `false` when the queue
     /// is exhausted or the horizon is passed.
     pub fn step(
@@ -200,6 +335,11 @@ impl<'w> World<'w> {
         if !self.parked.is_empty() {
             self.advance_parked(event.time, event.seq, scheduler);
         }
+        // After parked polls up to this instant have been settled, retire
+        // lazily-stored devices whose noted session ends have passed (any
+        // earlier parked poll for such a device was just drained above;
+        // later ones are dead in both storage arms). No-op on dense pools.
+        self.devices.sweep_retire(event.time);
         if event.time > self.horizon {
             return false;
         }
@@ -258,6 +398,7 @@ impl<'w> World<'w> {
                 // parked (the one way a session can shrink): the un-gated
                 // arm's check-in at `p.time` would fail `can_check_in`
                 // and observe nothing, so the poll chain dies here too.
+                self.devices.note_possible_retire(p.device, p.time);
                 continue;
             }
             if observes {
@@ -271,6 +412,9 @@ impl<'w> World<'w> {
                     seq,
                     device: p.device,
                 });
+            } else {
+                // Last grid poll of the session: the chain dies here.
+                self.devices.note_possible_retire(p.device, p.time);
             }
         }
     }
@@ -325,7 +469,36 @@ impl<'w> World<'w> {
             EventKind::RoundDeadline { job, epoch } => {
                 self.handle_round_deadline(job, epoch, now, scheduler, observers)
             }
+            EventKind::CohortWake { cohort } => {
+                self.handle_cohort_wake(cohort, now, scheduler, observers)
+            }
         }
+    }
+
+    /// `CohortWake`: the earliest upcoming session of `cohort` is due.
+    /// Drains every device whose session starts exactly now (in `(start,
+    /// device)` order), begins each session — the lazy arm's
+    /// materialization point — runs the device's immediate check-in, and
+    /// advances its stream cursor; then re-arms the cohort's single wake
+    /// at its new earliest start. Replacement sessions landing at the
+    /// same instant are drained by this same wake.
+    fn handle_cohort_wake(
+        &mut self,
+        cohort: usize,
+        now: SimTime,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) {
+        let mut cohorts = self.cohorts.take().expect("cohort wake without cohort set");
+        while let Some((device, session_end)) = cohorts.pop_due(cohort, now) {
+            self.devices.begin_session(device, session_end);
+            self.handle_check_in(device, now, scheduler, observers);
+            cohorts.advance(device, self.env.as_ref());
+        }
+        if let Some(t) = cohorts.next_wake(cohort) {
+            self.queue.push(t, EventKind::CohortWake { cohort });
+        }
+        self.cohorts = Some(cohorts);
     }
 
     /// `JobArrival` / `RoundStart`: submits the request for the job's next
@@ -368,6 +541,10 @@ impl<'w> World<'w> {
         scheduler: &mut dyn Scheduler,
         observers: &mut [&mut dyn SimObserver],
     ) {
+        // Stream discipline: this dispatch is what admits the *next*
+        // pending session into the queue, keeping exactly one un-dispatched
+        // stream entry queued until the stream is exhausted.
+        self.session_stream.push_next(&mut self.queue);
         self.devices.begin_session(device, session_end);
         self.handle_check_in(device, now, scheduler, observers);
     }
@@ -395,6 +572,9 @@ impl<'w> World<'w> {
             .devices
             .can_check_in(device, now, self.config.one_task_per_day)
         {
+            // A dead/capped/busy poll target may be this device's last
+            // touchpoint — let the lazy store consider retiring it.
+            self.devices.note_possible_retire(device, now);
             return;
         }
         let info = self.devices.info(device);
@@ -450,6 +630,10 @@ impl<'w> World<'w> {
                     } else {
                         self.queue.push(next, EventKind::CheckIn { device });
                     }
+                } else {
+                    // Poll chain ends inside this session: nothing will
+                    // touch the device again before its session end.
+                    self.devices.note_possible_retire(device, now);
                 }
             }
         }
@@ -629,6 +813,7 @@ impl<'w> World<'w> {
         j.assigned = j.assigned.saturating_sub(1);
         j.release_held(slot, device);
         self.devices.release(device);
+        self.devices.note_possible_retire(device, now);
         scheduler.add_demand(JobId::new(job_idx as u64), 1, now);
     }
 
@@ -662,6 +847,7 @@ impl<'w> World<'w> {
             j.phase == JobPhase::Running
         };
         if !counting_phase || !j.epoch_is(epoch) {
+            self.devices.note_possible_retire(device, now);
             return; // stale response: round already over
         }
         j.responses += 1;
@@ -673,6 +859,9 @@ impl<'w> World<'w> {
                 .record_response(env.tier_of(device), response_ms);
         }
         scheduler.on_response(job, self.devices.info(device), response_ms, now);
+        // After the last read of the reporting device's state: a response
+        // arriving at its session's final instant can retire it here.
+        self.devices.note_possible_retire(device, now);
         let demand = self.workload.jobs[job_idx].demand;
         if responses >= self.config.quorum_target(demand) {
             self.complete_round(job_idx, now, scheduler, observers);
@@ -694,6 +883,7 @@ impl<'w> World<'w> {
         // device's next task (no-op on the env-off arm).
         self.devices.take_failed_task(device);
         self.devices.release(device);
+        self.devices.note_possible_retire(device, now);
         self.result.failures += 1;
         if self.config.async_mode {
             let j = self.jobs.get_mut(job.as_u64() as usize);
@@ -775,6 +965,8 @@ impl<'w> World<'w> {
                 let next = now + self.config.repoll_ms;
                 if next < self.devices.session_end(device) {
                     self.queue.push(next, EventKind::CheckIn { device });
+                } else {
+                    self.devices.note_possible_retire(device, now);
                 }
             }
         }

@@ -80,6 +80,39 @@ impl AvailabilityModel {
         }
     }
 
+    /// Appends the sessions `device` starts on `day` to `out`, drawing
+    /// from `rng` in the model's canonical order (two Bernoulli count
+    /// draws, then start + duration per session). Both generation paths —
+    /// the eager sequential trace and the per-`(device, day)` split
+    /// streams — funnel through this one body, so they cannot drift.
+    fn day_sessions_into<R: Rng + ?Sized>(
+        &self,
+        duration: &LogNormal,
+        device: usize,
+        day: u64,
+        rng: &mut R,
+        out: &mut Vec<Session>,
+    ) {
+        // Bernoulli split of the expected rate into 0..=2 sessions.
+        let mut count = 0usize;
+        let lambda = self.sessions_per_day;
+        if rng.gen::<f64>() < (lambda / 2.0).min(1.0) {
+            count += 1;
+        }
+        if rng.gen::<f64>() < (lambda / 2.0).min(1.0) {
+            count += 1;
+        }
+        for _ in 0..count {
+            let start = day * DAY_MS + self.sample_start_in_day(rng);
+            let dur = duration.sample(rng).max(5.0 * 60_000.0) as SimTime;
+            out.push(Session {
+                device,
+                start,
+                end: start + dur,
+            });
+        }
+    }
+
     /// Generates the availability sessions of a population of `population`
     /// devices over `days` days, sorted by start time.
     ///
@@ -97,28 +130,29 @@ impl AvailabilityModel {
         let mut sessions = Vec::new();
         for device in 0..population {
             for day in 0..days as u64 {
-                // Bernoulli split of the expected rate into 0..=2 sessions.
-                let mut count = 0usize;
-                let lambda = self.sessions_per_day;
-                if rng.gen::<f64>() < (lambda / 2.0).min(1.0) {
-                    count += 1;
-                }
-                if rng.gen::<f64>() < (lambda / 2.0).min(1.0) {
-                    count += 1;
-                }
-                for _ in 0..count {
-                    let start = day * DAY_MS + self.sample_start_in_day(rng);
-                    let dur = duration.sample(rng).max(5.0 * 60_000.0) as SimTime;
-                    sessions.push(Session {
-                        device,
-                        start,
-                        end: start + dur,
-                    });
-                }
+                self.day_sessions_into(&duration, device, day, rng, &mut sessions);
             }
         }
         sessions.sort_by_key(|s| (s.start, s.device));
         sessions
+    }
+
+    /// Regenerates the sessions `device` starts on `day` from the device's
+    /// own split RNG stream (see [`crate::stream`]), appended to `out`
+    /// sorted by start (stable, so same-start sessions keep draw order —
+    /// matching the relative order [`generate`](Self::generate)'s global
+    /// `(start, device)` sort gives one device's ties).
+    ///
+    /// Because the stream is keyed by `(seed, device, day)` the result is
+    /// a pure function of those values: no other device's generation, and
+    /// no materialization order, can perturb it. Cost is O(sessions in
+    /// the day) — a cursor resuming mid-horizon replays one day block.
+    pub fn device_day_sessions(&self, seed: u64, device: usize, day: u64, out: &mut Vec<Session>) {
+        let duration = LogNormal::from_mean_cv(self.mean_session_ms, self.duration_cv);
+        let mut rng = crate::stream::session_rng(seed, device, day);
+        let base = out.len();
+        self.day_sessions_into(&duration, device, day, &mut rng, out);
+        out[base..].sort_by_key(|s| s.start);
     }
 
     /// Fraction of the population online at each sampled timestamp —
@@ -223,5 +257,44 @@ mod tests {
     #[should_panic(expected = "at least one day")]
     fn zero_days_panics() {
         AvailabilityModel::default().generate(1, 0, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn split_day_sessions_are_pure_and_sorted() {
+        let m = AvailabilityModel::default();
+        for device in [0usize, 17, 123_456] {
+            for day in 0..4u64 {
+                let mut a = Vec::new();
+                let mut b = Vec::new();
+                m.device_day_sessions(42, device, day, &mut a);
+                m.device_day_sessions(42, device, day, &mut b);
+                assert_eq!(a, b, "split stream must be a pure function of its key");
+                assert!(a.windows(2).all(|w| w[0].start <= w[1].start));
+                for s in &a {
+                    assert_eq!(s.device, device);
+                    assert!(s.start >= day * DAY_MS && s.start < (day + 1) * DAY_MS);
+                    assert!(s.end > s.start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_day_sessions_match_model_statistics() {
+        // The split path draws through the same body as `generate`, so
+        // per-day session counts follow the same 0..=2 Bernoulli split.
+        let m = AvailabilityModel::default();
+        let mut out = Vec::new();
+        for device in 0..500usize {
+            for day in 0..2u64 {
+                m.device_day_sessions(7, device, day, &mut out);
+            }
+        }
+        let per_device_day = out.len() as f64 / 1_000.0;
+        assert!(
+            (per_device_day - m.sessions_per_day).abs() < 0.25,
+            "rate {per_device_day} vs {}",
+            m.sessions_per_day
+        );
     }
 }

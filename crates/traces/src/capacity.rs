@@ -93,6 +93,14 @@ impl CapacityModel {
         (0..n).map(|_| self.sample(rng)).collect()
     }
 
+    /// Samples one device's profile from its own split RNG stream (see
+    /// [`crate::stream`]): a pure function of `(seed, device)`, so the
+    /// profile is identical whether the device is materialized first,
+    /// last, or never-until-hour-40 — touch order cannot affect draws.
+    pub fn sample_device(&self, seed: u64, device: usize) -> DeviceProfile {
+        self.sample(&mut crate::stream::profile_rng(seed, device))
+    }
+
     /// Fraction of a sampled population in each of the paper's four regions
     /// (General-only, Compute-Rich-only, Memory-Rich-only, High-Perf),
     /// in [`SpecCategory::ALL`] order of the *finest* region.

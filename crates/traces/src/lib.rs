@@ -25,6 +25,7 @@ pub mod dist;
 pub mod io;
 pub mod jobs;
 pub mod scenario;
+pub mod stream;
 pub mod workload;
 
 pub use availability::{AvailabilityModel, Session};

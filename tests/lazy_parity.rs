@@ -1,0 +1,164 @@
+//! `SplitEager` ⇄ `Lazy` storage parity.
+//!
+//! The lazy arm materializes a `DeviceState` only when a device is first
+//! touched (session start, hold, environment disturbance) and retires it
+//! once the device is idle past its session end. These tests pin the
+//! tentpole claim: that storage choice is *invisible* — every record,
+//! assignment, event, and environment counter is byte-identical to the
+//! dense `SplitEager` reference arm, across schedulers, seeds, and the
+//! kitchen-sink chaos environment (whose mass-offline waves and scripted
+//! faults hit devices that were never otherwise touched, exercising the
+//! absent-device fast paths).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use venn::baselines::BaselineScheduler;
+use venn::core::{Scheduler, VennConfig, VennScheduler};
+use venn::env::EnvPreset;
+use venn::sim::{AssignmentLog, EventTrace, PopMode, SimConfig, SimResult, Simulation};
+use venn::traces::Workload;
+
+fn config(seed: u64, population: usize, days: u32, env: EnvPreset) -> SimConfig {
+    SimConfig {
+        population,
+        days,
+        seed,
+        env: env.config(),
+        // Round participant lists are the finest-grained output; compare
+        // them too.
+        record_rounds: true,
+        ..SimConfig::small()
+    }
+}
+
+fn build_sched(name: &str, seed: u64) -> Box<dyn Scheduler> {
+    match name {
+        "random" => Box::new(BaselineScheduler::random_order(seed)),
+        "venn" => Box::new(VennScheduler::new(VennConfig {
+            seed,
+            ..VennConfig::default()
+        })),
+        other => panic!("unknown scheduler arm {other}"),
+    }
+}
+
+/// Runs one (config, workload, scheduler) cell under the given storage
+/// mode, capturing the full observable surface.
+fn run_mode(
+    base: SimConfig,
+    pop_mode: PopMode,
+    workload: &Workload,
+    sched: &str,
+) -> (SimResult, AssignmentLog, EventTrace) {
+    let cfg = SimConfig { pop_mode, ..base };
+    let mut scheduler = build_sched(sched, cfg.seed ^ 0xA5A5);
+    let mut log = AssignmentLog::default();
+    let mut trace = EventTrace::default();
+    let result =
+        Simulation::new(cfg).run_observed(workload, &mut *scheduler, &mut [&mut log, &mut trace]);
+    (result, log, trace)
+}
+
+fn assert_parity(
+    dense: &(SimResult, AssignmentLog, EventTrace),
+    lazy: &(SimResult, AssignmentLog, EventTrace),
+    ctx: &str,
+) {
+    let (d, dl, dt) = dense;
+    let (l, ll, lt) = lazy;
+    assert_eq!(d.records, l.records, "{ctx}: job records");
+    assert_eq!(d.rounds, l.rounds, "{ctx}: round logs");
+    assert_eq!(d.aborted_rounds, l.aborted_rounds, "{ctx}: aborts");
+    assert_eq!(d.assignments, l.assignments, "{ctx}: assignment count");
+    assert_eq!(d.failures, l.failures, "{ctx}: failures");
+    assert_eq!(d.events, l.events, "{ctx}: dispatched events");
+    assert_eq!(d.peak_queue_len, l.peak_queue_len, "{ctx}: peak queue");
+    assert_eq!(d.env, l.env, "{ctx}: env counters");
+    assert_eq!(dl, ll, "{ctx}: assignment stream");
+    assert_eq!(dt, lt, "{ctx}: event trace");
+}
+
+#[test]
+fn lazy_matches_split_eager_across_seeds_schedulers_and_envs() {
+    for seed in [11_u64, 42, 1303] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workload = Workload::default_scenario(8, &mut rng);
+        for env in [EnvPreset::Off, EnvPreset::Chaos] {
+            for sched in ["random", "venn"] {
+                let base = config(seed, 600, 3, env);
+                let dense = run_mode(base, PopMode::SplitEager, &workload, sched);
+                let lazy = run_mode(base, PopMode::Lazy, &workload, sched);
+                assert_parity(
+                    &dense,
+                    &lazy,
+                    &format!("seed {seed} env {env:?} sched {sched}"),
+                );
+            }
+        }
+    }
+}
+
+/// The O(active) claim itself: on a population far larger than the
+/// workload needs, the lazy pool's materialized high-water mark stays a
+/// small fraction of the population.
+#[test]
+fn lazy_arm_materializes_a_fraction_of_the_population() {
+    let seed = 42_u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let workload = Workload::default_scenario(6, &mut rng);
+    let cfg = SimConfig {
+        population: 4_000,
+        days: 2,
+        seed,
+        pop_mode: PopMode::Lazy,
+        ..SimConfig::default()
+    };
+    let mut scheduler = build_sched("venn", seed ^ 0xA5A5);
+    let name = scheduler.name().to_string();
+    let sim = Simulation::new(cfg);
+    let mut world = sim.world(&workload, &name);
+    while world.step(&mut *scheduler, &mut []) {}
+    let pool = world.devices();
+    assert!(pool.is_lazy());
+    let peak = pool.peak_live_devices();
+    assert!(peak > 0, "some devices must have materialized");
+    assert!(
+        peak < cfg.population / 2,
+        "peak live {peak} should stay far below population {}",
+        cfg.population
+    );
+}
+
+proptest! {
+    /// Random corners of (seed, population, days, env, scheduler): every
+    /// touch-order interleaving the simulation produces — including env
+    /// faults landing on never-touched devices — leaves the lazy arm byte-
+    /// identical to the dense split arm.
+    #[test]
+    fn lazy_parity_holds_on_random_corners(
+        seed in 0_u64..1_000_000,
+        population in 120_usize..280,
+        days in 2_u32..4,
+        env_pick in 0_u8..2,
+        sched_pick in 0_u8..2,
+    ) {
+        let env = if env_pick == 0 { EnvPreset::Off } else { EnvPreset::Chaos };
+        let sched = if sched_pick == 0 { "random" } else { "venn" };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workload = Workload::default_scenario(4, &mut rng);
+        let base = config(seed, population, days, env);
+        let dense = run_mode(base, PopMode::SplitEager, &workload, sched);
+        let lazy = run_mode(base, PopMode::Lazy, &workload, sched);
+        let (d, dl, dt) = &dense;
+        let (l, ll, lt) = &lazy;
+        prop_assert_eq!(&d.records, &l.records);
+        prop_assert_eq!(&d.rounds, &l.rounds);
+        prop_assert_eq!(d.events, l.events);
+        prop_assert_eq!(d.peak_queue_len, l.peak_queue_len);
+        prop_assert_eq!(&d.env, &l.env);
+        prop_assert_eq!(dl, ll);
+        prop_assert_eq!(dt, lt);
+    }
+}

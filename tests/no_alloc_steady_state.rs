@@ -12,47 +12,18 @@
 //! This file deliberately contains a single `#[test]` so no concurrent
 //! test pollutes the process-wide allocation counter.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use venn::baselines::BaselineScheduler;
 use venn::core::{
     Capacity, DeviceId, DeviceInfo, JobId, Request, ResourceSpec, Scheduler, VennConfig,
     VennScheduler,
 };
+use venn::metrics::alloc::{allocation_calls as allocations, TrackingAlloc};
 
-/// Wraps the system allocator, counting every allocation entry point.
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(layout)
-    }
-
-    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc_zeroed(layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-}
-
+// The shared counting allocator from `venn-metrics` (grown out of this
+// harness): `allocation_calls()` counts every alloc/realloc entry point,
+// which is exactly the steady-state invariant measured below.
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
-
-fn allocations() -> u64 {
-    ALLOCS.load(Ordering::Relaxed)
-}
+static GLOBAL: TrackingAlloc = TrackingAlloc;
 
 fn dev(i: u64) -> DeviceInfo {
     let cpu = ((i * 13) % 10) as f64 / 10.0;
