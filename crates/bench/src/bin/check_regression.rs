@@ -16,15 +16,22 @@
 //! against that same arm. Headerless (pre-arm-metadata) files fall back
 //! to the default arm.
 //!
+//! With `--shards N` the gate replays the *same committed sequential
+//! baseline* on the sharded execution engine and still demands zero
+//! drift — sharded execution is pinned bit-identical, so no re-baselined
+//! fields and no separate sharded baseline file exist.
+//!
 //! Run: `cargo run --release -p venn-bench --bin check_regression
-//!       [--baseline PATH]`
+//!       [--baseline PATH] [--shards N]`
 
 use std::process::ExitCode;
 
-use venn_bench::{baseline_rows, diff_rows, parse_arm_header, parse_baseline, run_baseline};
+use venn_bench::{baseline_rows, diff_rows, parse_arm_header, parse_baseline, run_baseline_exec};
+use venn_sim::ExecMode;
 
 fn main() -> ExitCode {
     let mut path = "BENCH_BASELINE.json".to_string();
+    let mut exec = ExecMode::Sequential;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -35,9 +42,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--shards" => match it.next().map(|s| s.parse::<u32>()) {
+                Some(Ok(n)) if n >= 1 => exec = ExecMode::Sharded { shards: n },
+                other => {
+                    eprintln!("error: --shards needs a count >= 1, got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("error: unknown flag {other:?}");
-                eprintln!("usage: check_regression [--baseline PATH]");
+                eprintln!("usage: check_regression [--baseline PATH] [--shards N]");
                 return ExitCode::FAILURE;
             }
         }
@@ -59,13 +73,17 @@ fn main() -> ExitCode {
     };
 
     let (queue, demand_gating, env) = parse_arm_header(&text);
+    let exec_label = match exec {
+        ExecMode::Sequential => "sequential".to_string(),
+        ExecMode::Sharded { shards } => format!("sharded x{shards}"),
+    };
     eprintln!(
         "replaying baseline matrix (seed {seed}, {} schedulers, queue {queue:?}, \
-         gating {demand_gating}, env {})…",
+         gating {demand_gating}, env {}, exec {exec_label})…",
         committed.len(),
         env.label()
     );
-    let (_, runs) = run_baseline(seed, queue, demand_gating, env);
+    let (_, runs) = run_baseline_exec(seed, queue, demand_gating, env, exec);
     let fresh = baseline_rows(&runs);
 
     if committed.len() != fresh.len() {

@@ -11,11 +11,14 @@
 //!           [--workload {even|small|large|low|high}]
 //!           [--bias {general|compute|memory|resource}]
 //!           [--epsilon F] [--tiers N] [--async] [--overcommit F]
-//!           [--queue wheel|heap] [--no-gating]
+//!           [--queue wheel|heap] [--no-gating] [--shards N]
 //!           [--pop eager|split-eager|lazy]
 //!           [--env off|flash-crowd|straggler-heavy|mass-dropout|chaos]
 //!           [--load FILE.tsv] [--save FILE.tsv] [--csv]
 //! ```
+//!
+//! `--shards N` runs the sharded execution engine with `N` lock-step
+//! shards; results are bit-identical to the default sequential engine.
 //!
 //! Run: `cargo run --release -p venn-bench --bin vennsim -- --jobs 12 --days 5`
 
@@ -28,7 +31,7 @@ use venn_baselines::BaselineScheduler;
 use venn_core::{Scheduler, VennConfig, VennScheduler, MINUTE_MS};
 use venn_env::EnvPreset;
 use venn_metrics::csv::Csv;
-use venn_sim::{PopMode, QueueKind, SimConfig, Simulation};
+use venn_sim::{ExecMode, PopMode, QueueKind, SimConfig, Simulation};
 use venn_traces::{io as wio, BiasKind, JobDemandModel, Workload, WorkloadKind};
 
 #[derive(Debug)]
@@ -47,6 +50,7 @@ struct Args {
     queue: QueueKind,
     demand_gating: bool,
     pop_mode: PopMode,
+    exec: ExecMode,
     env: EnvPreset,
     load: Option<String>,
     save: Option<String>,
@@ -70,6 +74,7 @@ impl Default for Args {
             queue: QueueKind::Wheel,
             demand_gating: true,
             pop_mode: PopMode::Eager,
+            exec: ExecMode::Sequential,
             env: EnvPreset::Off,
             load: None,
             save: None,
@@ -143,6 +148,15 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--no-gating" => args.demand_gating = false,
+            "--shards" => {
+                let shards: u32 = value("--shards")?
+                    .parse()
+                    .map_err(|e| format!("--shards: {e}"))?;
+                if shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+                args.exec = ExecMode::Sharded { shards };
+            }
             "--pop" => {
                 args.pop_mode = match value("--pop")?.as_str() {
                     "eager" => PopMode::Eager,
@@ -221,6 +235,7 @@ fn run(args: &Args) -> Result<(), String> {
         queue: args.queue,
         demand_gating: args.demand_gating,
         pop_mode: args.pop_mode,
+        exec: args.exec,
         env: args.env.config(),
         ..SimConfig::default()
     };
@@ -292,7 +307,7 @@ fn main() -> ExitCode {
                 "usage: vennsim [--scheduler venn|random|fifo|srsf] [--jobs N] \
                  [--population N] [--days N] [--seed N] [--workload even|small|large|low|high] \
                  [--bias general|compute|memory|resource] [--epsilon F] [--tiers N] \
-                 [--async] [--overcommit F] [--queue wheel|heap] [--no-gating] \
+                 [--async] [--overcommit F] [--queue wheel|heap] [--no-gating] [--shards N] \
                  [--pop eager|split-eager|lazy] \
                  [--env off|flash-crowd|straggler-heavy|mass-dropout|chaos] \
                  [--load FILE.tsv] [--save FILE.tsv] [--csv]"

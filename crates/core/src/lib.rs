@@ -58,7 +58,7 @@ pub use ids::{DeviceId, GroupId, JobId};
 pub use intern::SpecInterner;
 pub use request::Request;
 pub use resource::{Capacity, CategoryThresholds, ResourceSpec, SpecCategory};
-pub use scheduler::Scheduler;
+pub use scheduler::{CheckInRecord, Scheduler};
 pub use slotmap::{JobIdIndex, JobSlot, SlotMap};
 pub use supply::SupplyEstimator;
 pub use venn::VennScheduler;

@@ -2,6 +2,21 @@
 
 use crate::{DeviceInfo, JobId, Request, SimTime};
 
+/// One suppressed check-in replayed in batch: the device view the
+/// scheduler would have observed, at the simulated time it would have
+/// observed it.
+///
+/// Produced by the simulator's demand-gating machinery (and its sharded
+/// execution mode) when parked poll chains elapse between dispatched
+/// events — see [`Scheduler::replay_check_ins`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckInRecord {
+    /// When the suppressed check-in would have fired.
+    pub time: SimTime,
+    /// The device view at that instant.
+    pub device: DeviceInfo,
+}
+
 /// A CL resource manager: decides which job each checked-in device serves.
 ///
 /// The event-driven simulator (`venn-sim`) drives implementations through
@@ -122,6 +137,23 @@ pub trait Scheduler {
     fn observes_check_ins(&self) -> bool {
         true
     }
+
+    /// Replays a batch of suppressed check-ins in `(time, seq)` stream
+    /// order — the bulk equivalent of calling
+    /// [`on_check_in`](Scheduler::on_check_in) once per record.
+    ///
+    /// The simulator's demand gating elapses parked poll chains lazily:
+    /// whole windows of suppressed check-ins are resolved at once, right
+    /// before the next dispatched event. Batching them into a single call
+    /// lets implementations skip the per-record virtual dispatch and feed
+    /// their supply estimator directly. The default forwards each record
+    /// to `on_check_in`, so overriding is purely an optimization — it must
+    /// leave scheduler state exactly as the per-record calls would.
+    fn replay_check_ins(&mut self, batch: &[CheckInRecord]) {
+        for r in batch {
+            self.on_check_in(&r.device, r.time);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +194,44 @@ mod tests {
         fn pending_demand(&self, job: JobId) -> Option<u32> {
             self.queue.iter().find(|r| r.job == job).map(|r| r.demand)
         }
+    }
+
+    #[test]
+    fn replay_check_ins_defaults_to_per_record_dispatch() {
+        #[derive(Default)]
+        struct Recorder(Vec<(u64, SimTime)>);
+        impl Scheduler for Recorder {
+            fn name(&self) -> &str {
+                "recorder"
+            }
+            fn submit(&mut self, _request: Request, _now: SimTime) {}
+            fn withdraw(&mut self, _job: JobId, _now: SimTime) {}
+            fn add_demand(&mut self, _job: JobId, _count: u32, _now: SimTime) {}
+            fn on_check_in(&mut self, device: &DeviceInfo, now: SimTime) {
+                self.0.push((device.id().as_u64(), now));
+            }
+            fn assign(&mut self, _device: &DeviceInfo, _now: SimTime) -> Option<JobId> {
+                None
+            }
+            fn pending_demand(&self, _job: JobId) -> Option<u32> {
+                None
+            }
+        }
+
+        let batch = [
+            CheckInRecord {
+                time: 100,
+                device: DeviceInfo::new(DeviceId::new(3), Capacity::new(0.5, 0.5)),
+            },
+            CheckInRecord {
+                time: 250,
+                device: DeviceInfo::new(DeviceId::new(9), Capacity::new(0.8, 0.2)),
+            },
+        ];
+        let mut s = Recorder::default();
+        // Through the object-safe trait surface, as the simulator calls it.
+        (&mut s as &mut dyn Scheduler).replay_check_ins(&batch);
+        assert_eq!(s.0, vec![(3, 100), (9, 250)]);
     }
 
     #[test]

@@ -46,8 +46,8 @@ use crate::matching::{decide_tier, TierProfiler, TierRange};
 use crate::slotmap::{JobIdIndex, JobSlot, SlotMap};
 use crate::supply::RegionSupply;
 use crate::{
-    DeviceInfo, GroupId, JobId, Request, ResourceSpec, Scheduler, SimTime, SupplyEstimator,
-    VennConfig,
+    CheckInRecord, DeviceInfo, GroupId, JobId, Request, ResourceSpec, Scheduler, SimTime,
+    SupplyEstimator, VennConfig,
 };
 
 /// Fallback per-round response estimate (ms) used for the uncontended-JCT
@@ -701,6 +701,16 @@ impl Scheduler for VennScheduler {
         // Check-ins feed the supply estimator; gated check-ins must be
         // replayed or the IRS plan's rates (and thus assignments) drift.
         true
+    }
+
+    fn replay_check_ins(&mut self, batch: &[CheckInRecord]) {
+        // Same state transition as `on_check_in` per record, minus the
+        // per-record virtual dispatch: suppressed check-ins only touch the
+        // supply estimator, so a whole gated window folds into one tight
+        // loop over the ring.
+        for r in batch {
+            self.supply.record(r.time, r.device.capacity());
+        }
     }
 }
 #[cfg(test)]

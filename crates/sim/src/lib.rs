@@ -37,16 +37,18 @@ pub mod event;
 pub mod job_table;
 pub mod observer;
 pub mod result;
+pub mod shard;
 pub mod world;
 
 pub use cohort::CohortSet;
-pub use config::{PopMode, SimConfig};
+pub use config::{ExecMode, PopMode, SimConfig};
 pub use device_pool::{DevicePool, DeviceState};
 pub use engine::Simulation;
 pub use event::{Event, EventKind, EventQueue, QueueKind};
 pub use job_table::{JobPhase, JobRuntime, JobTable};
 pub use observer::{AssignmentLog, CompletionLog, EventTrace, RoundRecorder, SimObserver};
 pub use result::{RoundLog, SimResult};
+pub use shard::ShardPlane;
 pub use world::World;
 
 pub use venn_core::Scheduler;

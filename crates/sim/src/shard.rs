@@ -1,0 +1,709 @@
+//! Device-sharded poll plane: the demand-gating parked set split into
+//! per-device-range segments that elapse in lock-step between dispatched
+//! events.
+//!
+//! # Epoch barrier protocol
+//!
+//! Sharded execution ([`ExecMode::Sharded`](crate::ExecMode)) partitions
+//! the population into `shards` contiguous id ranges. Each shard owns the
+//! parked poll chains of its devices — the segment of the sequential
+//! kernel's single parked deque that belongs to that id range. Parked
+//! wake times are quantized to the `now + k·repoll_ms` grid, so the next
+//! dispatched event's `(time, seq)` key is a free conservative lookahead
+//! bound: *every* parked poll with a smaller key must elapse before that
+//! event runs, and none of those elapses can schedule anything at or
+//! before its own instant. The barrier is therefore exact, never
+//! speculative, and requires no rollback.
+//!
+//! Per barrier window, each shard scans its eligible prefix locally (for
+//! large windows the per-entry resolution fans out over the vendored
+//! rayon shim's worker threads — the per-shard outboxes are disjoint and
+//! the device pool is only read), and the per-shard effect streams are
+//! then merged into one totally ordered stream by `(time, seq)` before
+//! any shared state runs:
+//!
+//! * **seq reservations** for continuation polls are drawn from the
+//!   shared event-queue counter in merged order, so every reserved seq is
+//!   bit-identical to the sequential arm's;
+//! * **check-in supply observations** are accumulated (in merged order,
+//!   at original timestamps) and replayed into the shared scheduler in
+//!   one [`Scheduler::replay_check_ins`](venn_core::Scheduler) batch
+//!   before the barrier event dispatches;
+//! * **retire notes** go to the device pool as each merged entry is
+//!   applied (the retire heap orders by `(session_end, device)`, so it is
+//!   insertion-order independent by construction).
+//!
+//! Because merge keys are globally unique (seqs are never reused), the
+//! merged stream is a permutation-free total order — `debug_assert`ed on
+//! every applied entry and pinned by the merge-determinism property test.
+//!
+//! # Cached session ends
+//!
+//! Entries cache their device's session end and capacity at park time so
+//! the elapse loop runs without touching the pool. Sessions only ever
+//! *extend* (`DevicePool::begin_session` takes the max), so a cached end
+//! can under-estimate but never over-estimate — an "alive" verdict from
+//! the cache is always correct, while any "dead" verdict is confirmed
+//! against the authoritative pool value first. The one way a session can
+//! shrink is an environment fault (`force_offline`); those bump
+//! [`ShardPlane::bump_gen`], which invalidates every cached end at once
+//! (each entry re-reads the pool on its next elapse). Capacities are
+//! immutable per device, so that half of the cache needs no
+//! invalidation.
+
+use std::collections::VecDeque;
+
+use rayon::prelude::*;
+
+use venn_core::{Capacity, CheckInRecord, DeviceId, DeviceInfo, SimTime};
+
+use crate::device_pool::DevicePool;
+use crate::event::{EventKind, EventQueue};
+
+/// Minimum number of poll elapses in one barrier window before the
+/// per-entry resolution pass fans out to worker threads. Typical windows
+/// between dispatched events elapse a handful of polls — spawning a
+/// thread scope for those would cost more than the work itself — while
+/// overnight lulls and wake storms elapse tens of thousands at once,
+/// which is where the threads (and the batched scan) pay off.
+pub const PAR_THRESHOLD: usize = 4096;
+
+/// Front-key sentinel for an idle shard: compares above every real
+/// `(time, seq)` key, so the merge scans need no emptiness branch.
+const EMPTY_KEY: (SimTime, u64) = (SimTime::MAX, u64::MAX);
+
+/// One parked poll owned by a shard: the `(time, seq)` identity the
+/// suppressed check-in would have carried, plus cached device facts that
+/// keep the steady-state elapse loop free of pool lookups.
+#[derive(Debug, Clone, Copy)]
+struct ShardEntry {
+    /// When the suppressed check-in would have fired.
+    time: SimTime,
+    /// The insertion seq it would have carried (reserved, never reused).
+    seq: u64,
+    /// Session end cached at entry creation. Trustworthy for "alive"
+    /// verdicts while `gen` is current; any "dead" verdict re-reads the
+    /// pool (see module docs).
+    end: SimTime,
+    /// The polling device.
+    device: u32,
+    /// [`ShardPlane::global_gen`] at cache time.
+    gen: u32,
+    /// The device's immutable capacity, for replayed observations.
+    cap: Capacity,
+}
+
+impl ShardEntry {
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// One device-range shard: its segment of the parked poll set plus the
+/// persistent outbox scratch used by the bulk (large-window) path.
+#[derive(Debug, Default)]
+struct Shard {
+    /// Parked polls of this shard's devices, ascending by `(time, seq)`.
+    /// The ordering is maintained with plain `push_back`s for the same
+    /// reason as the sequential arm's single deque: every new entry is
+    /// created `repoll_ms` after a non-decreasing stream position.
+    q: VecDeque<ShardEntry>,
+    /// The eligible prefix of `q` for the current barrier window, moved
+    /// out by the bulk path's scan and cleared (capacity retained) after
+    /// the merge — per-epoch scratch, not per-epoch allocation.
+    outbox: Vec<ShardEntry>,
+}
+
+/// The sharded poll plane: all shards plus the merge/observation scratch.
+///
+/// Owned by the [`World`](crate::world::World) when
+/// [`ExecMode::Sharded`](crate::ExecMode) is selected; the sequential
+/// arm keeps its single parked deque and never constructs one of these.
+#[derive(Debug)]
+pub struct ShardPlane {
+    shards: Box<[Shard]>,
+    population: usize,
+    /// Bumped by every forced-offline fault — the one event that can
+    /// shrink a session and thus invalidate cached ends.
+    global_gen: u32,
+    /// Check-in observations of the current barrier window, in merged
+    /// `(time, seq)` order. Persistent scratch: the world replays it into
+    /// the scheduler and clears it (capacity retained) per window.
+    obs: Vec<CheckInRecord>,
+    /// Per-shard merge cursors into the outboxes (bulk path scratch).
+    cursors: Vec<usize>,
+    /// Key of the last merged elapse — enforces that the merged
+    /// cross-shard stream is a strictly increasing `(time, seq)` total
+    /// order.
+    last_key: (SimTime, u64),
+    /// Per-shard cache of the front entry's `(time, seq)` key
+    /// ([`EMPTY_KEY`] when the shard is idle). The merge loops scan this
+    /// flat array instead of dereferencing every deque front on every
+    /// elapse — maintained at each push/pop site.
+    fronts: Vec<(SimTime, u64)>,
+    /// Lower bound on the minimum front key across all shards: [`advance`]
+    /// (Self::advance) is called at every event boundary, and almost all
+    /// of those calls find nothing eligible — this turns them into one
+    /// comparison instead of a k-way scan. Pops only raise the true
+    /// minimum, so the bound stays valid until the next park lowers it;
+    /// the scans re-tighten it whenever they come up empty.
+    min_front: (SimTime, u64),
+    /// Whether the bulk resolve pass may fan out to worker threads.
+    /// Decided once per plane from the machine's core count: on a
+    /// single-core host the thread scope is pure overhead, and the
+    /// serial in-place resolve is also allocation-free. Results are
+    /// byte-identical either way — this picks an execution strategy,
+    /// never an outcome.
+    par_resolve: bool,
+}
+
+impl ShardPlane {
+    /// An empty plane for `population` devices split into `shards`
+    /// contiguous id ranges.
+    pub fn new(population: usize, shards: u32) -> Self {
+        let n = (shards as usize).max(1);
+        ShardPlane {
+            shards: (0..n).map(|_| Shard::default()).collect(),
+            population: population.max(1),
+            global_gen: 0,
+            obs: Vec::new(),
+            cursors: vec![0; n],
+            last_key: (0, 0),
+            fronts: vec![EMPTY_KEY; n],
+            min_front: EMPTY_KEY,
+            par_resolve: std::thread::available_parallelism().is_ok_and(|p| p.get() > 1),
+        }
+    }
+
+    /// Forces the threaded bulk-resolve path on regardless of the host's
+    /// core count. Test hook: lets single-core machines still exercise
+    /// the parallel pass (which must be byte-identical to the serial
+    /// one).
+    #[doc(hidden)]
+    pub fn force_parallel_resolve(&mut self) {
+        self.par_resolve = true;
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `device` (contiguous id ranges).
+    fn shard_of(&self, device: usize) -> usize {
+        device * self.shards.len() / self.population
+    }
+
+    /// Whether no poll is parked anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.q.is_empty())
+    }
+
+    /// Total parked polls across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.q.len()).sum()
+    }
+
+    /// Parks a suppressed check-in on its owner shard. `end` is the
+    /// device's current session end and `cap` its (immutable) capacity —
+    /// the cached facts that keep elapses pool-free.
+    pub fn park(&mut self, device: usize, time: SimTime, seq: u64, end: SimTime, cap: Capacity) {
+        let shard = self.shard_of(device);
+        let entry = ShardEntry {
+            time,
+            seq,
+            end,
+            device: device as u32,
+            gen: self.global_gen,
+            cap,
+        };
+        debug_assert!(
+            self.shards[shard]
+                .q
+                .back()
+                .map_or(true, |b| b.key() < entry.key()),
+            "per-shard parked order must stay ascending by (time, seq)"
+        );
+        self.shards[shard].q.push_back(entry);
+        if self.shards[shard].q.len() == 1 {
+            self.fronts[shard] = entry.key();
+        }
+        if entry.key() < self.min_front {
+            self.min_front = entry.key();
+        }
+    }
+
+    /// Invalidates every cached session end: an environment fault forced
+    /// a device offline, the one transition that can shrink a session.
+    pub fn bump_gen(&mut self) {
+        self.global_gen = self.global_gen.wrapping_add(1);
+    }
+
+    /// Check-in observations accumulated by [`advance`](Self::advance),
+    /// in merged stream order.
+    pub fn observations(&self) -> &[CheckInRecord] {
+        &self.obs
+    }
+
+    /// Clears the observation batch after the world replayed it
+    /// (capacity retained).
+    pub fn clear_observations(&mut self) {
+        self.obs.clear();
+    }
+
+    /// Elapses every parked poll with key below the barrier `(time, seq)`
+    /// — the event about to be dispatched — in exact merged stream order.
+    ///
+    /// Mirrors the sequential kernel's `advance_parked` effect for
+    /// effect: deaths file retire notes, observing schedulers get their
+    /// suppressed check-ins (batched into [`observations`](Self::observations)
+    /// for the caller to replay), and each surviving chain re-parks its
+    /// continuation under a seq reserved at this very stream position.
+    #[allow(clippy::too_many_arguments)]
+    pub fn advance(
+        &mut self,
+        time: SimTime,
+        seq: u64,
+        horizon: SimTime,
+        repoll_ms: SimTime,
+        devices: &mut DevicePool,
+        queue: &mut EventQueue,
+        observes: bool,
+    ) {
+        let barrier = (time, seq);
+        // The every-event early-out: nothing parked anywhere elapses
+        // before this barrier.
+        if self.min_front >= barrier {
+            return;
+        }
+        // Fast path: k-way merge over the cached front keys. One scan
+        // finds the minimum *and* the runner-up, and the winning shard
+        // then drains a whole run — every front below the runner-up is
+        // globally minimal — without rescanning. Typical windows elapse
+        // a handful of polls; anything bigger falls through to the
+        // batched bulk path below.
+        let mut budget = PAR_THRESHOLD;
+        loop {
+            let mut best: Option<usize> = None;
+            let mut best_key = barrier;
+            let mut runner_up = barrier;
+            for (i, &k) in self.fronts.iter().enumerate() {
+                if k < best_key {
+                    runner_up = best_key;
+                    best_key = k;
+                    best = Some(i);
+                } else if k < runner_up {
+                    runner_up = k;
+                }
+            }
+            let Some(i) = best else {
+                // Every front sits at or past the barrier: the scan's
+                // minimum is exact, re-tighten the early-out bound.
+                self.min_front = self.fronts.iter().copied().min().unwrap_or(EMPTY_KEY);
+                return;
+            };
+            // The global minimum has the minimum time, so if it sits
+            // past the horizon every other front does too — exactly the
+            // sequential arm's break condition.
+            if best_key.0 > horizon {
+                self.min_front = best_key;
+                return;
+            }
+            loop {
+                let e = self.shards[i].q.pop_front().expect("cached front key");
+                self.fronts[i] = front_key(&self.shards[i].q);
+                // `apply` may re-park the continuation onto this same
+                // shard (the device does not move), which refreshes
+                // `fronts[i]` through `park` if the deque was empty.
+                self.apply(e, false, repoll_ms, devices, queue, observes);
+                budget -= 1;
+                if budget == 0 {
+                    self.advance_bulk(barrier, horizon, repoll_ms, devices, queue, observes);
+                    return;
+                }
+                let k = self.fronts[i];
+                if k >= runner_up || k.0 > horizon {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Large-window path: per-shard prefix scans into the outboxes, a
+    /// (parallel, read-only) resolution pass over the cached ends, then
+    /// one serial `(time, seq)` merge applying the effects. Loops because
+    /// continuations may elapse again within the same window.
+    #[allow(clippy::too_many_arguments)]
+    fn advance_bulk(
+        &mut self,
+        barrier: (SimTime, u64),
+        horizon: SimTime,
+        repoll_ms: SimTime,
+        devices: &mut DevicePool,
+        queue: &mut EventQueue,
+        observes: bool,
+    ) {
+        loop {
+            // Scan: move each shard's eligible prefix into its outbox.
+            let mut total = 0;
+            for (i, s) in self.shards.iter_mut().enumerate() {
+                debug_assert!(s.outbox.is_empty(), "outbox cleared after every merge");
+                while let Some(f) = s.q.front() {
+                    if f.key() < barrier && f.time <= horizon {
+                        s.outbox.push(s.q.pop_front().expect("front just observed"));
+                    } else {
+                        break;
+                    }
+                }
+                self.fronts[i] = front_key(&s.q);
+                total += s.outbox.len();
+            }
+            if total == 0 {
+                // Every remaining front is at or past the barrier and the
+                // fronts cache is freshly exact: re-tighten the bound.
+                self.min_front = self.fronts.iter().copied().min().unwrap_or(EMPTY_KEY);
+                return;
+            }
+            // Resolve: make every entry's cached end sufficient on its
+            // own — entries the cache cannot prove alive re-read the
+            // pool. Pool access is read-only here, so big windows fan the
+            // pass out over worker threads (each thread owns whole
+            // disjoint outboxes; order within each is untouched).
+            let gen = self.global_gen;
+            if self.par_resolve && total >= PAR_THRESHOLD && self.shards.len() > 1 {
+                let pool: &DevicePool = devices;
+                let outboxes: Vec<Vec<ShardEntry>> = self
+                    .shards
+                    .iter_mut()
+                    .map(|s| std::mem::take(&mut s.outbox))
+                    .collect();
+                let resolved: Vec<Vec<ShardEntry>> = outboxes
+                    .into_par_iter()
+                    .map(|mut ob| {
+                        for e in ob.iter_mut() {
+                            resolve_entry(e, gen, repoll_ms, pool);
+                        }
+                        ob
+                    })
+                    .collect();
+                for (s, ob) in self.shards.iter_mut().zip(resolved) {
+                    s.outbox = ob;
+                }
+            } else {
+                for s in self.shards.iter_mut() {
+                    for e in s.outbox.iter_mut() {
+                        resolve_entry(e, gen, repoll_ms, devices);
+                    }
+                }
+            }
+            // Merge: apply the outbox entries in (time, seq) order, with
+            // the same runner-up run-draining as the fast path (every
+            // outbox entry already passed the barrier/horizon filter).
+            self.cursors.fill(0);
+            loop {
+                let mut best: Option<usize> = None;
+                let mut best_key = barrier;
+                let mut runner_up = barrier;
+                for (i, s) in self.shards.iter().enumerate() {
+                    if let Some(e) = s.outbox.get(self.cursors[i]) {
+                        let k = e.key();
+                        if k < best_key {
+                            runner_up = best_key;
+                            best_key = k;
+                            best = Some(i);
+                        } else if k < runner_up {
+                            runner_up = k;
+                        }
+                    }
+                }
+                let Some(i) = best else {
+                    break;
+                };
+                loop {
+                    let e = self.shards[i].outbox[self.cursors[i]];
+                    self.cursors[i] += 1;
+                    self.apply(e, true, repoll_ms, devices, queue, observes);
+                    match self.shards[i].outbox.get(self.cursors[i]) {
+                        Some(n) if n.key() < runner_up => {}
+                        _ => break,
+                    }
+                }
+            }
+            for s in self.shards.iter_mut() {
+                s.outbox.clear();
+            }
+        }
+    }
+
+    /// Applies one merged elapse: death check, suppressed-check-in
+    /// observation, and continuation park — the sharded equivalent of one
+    /// sequential `advance_parked` iteration. `resolved` marks entries
+    /// whose cached end already went through [`resolve_entry`] (bulk
+    /// path) and thus never needs re-reading here.
+    fn apply(
+        &mut self,
+        e: ShardEntry,
+        resolved: bool,
+        repoll_ms: SimTime,
+        devices: &mut DevicePool,
+        queue: &mut EventQueue,
+        observes: bool,
+    ) {
+        let key = e.key();
+        // The total-order pin: merged cross-shard elapses form one
+        // strictly increasing (time, seq) stream, no permutations.
+        debug_assert!(
+            key > self.last_key || self.last_key == (0, 0),
+            "merged poll stream must be a strictly increasing (time, seq) order"
+        );
+        self.last_key = key;
+        let device = e.device as usize;
+        // A stale generation means a fault may have shrunk the session:
+        // the cache is untrustworthy in both directions, re-read now.
+        let mut confirmed = resolved || e.gen != self.global_gen;
+        let mut end = if !resolved && e.gen != self.global_gen {
+            devices.session_end(device)
+        } else {
+            e.end
+        };
+        if e.time >= end {
+            if !confirmed {
+                // Cached ends only under-estimate (sessions extend, never
+                // shrink, between generation bumps): confirm the death
+                // verdict against the pool before killing the chain.
+                end = devices.session_end(device);
+                confirmed = true;
+            }
+            if e.time >= end {
+                // The un-gated arm's check-in at `e.time` would fail
+                // `can_check_in` and observe nothing: the chain dies.
+                devices.note_possible_retire(device, e.time);
+                return;
+            }
+        }
+        if observes {
+            self.obs.push(CheckInRecord {
+                time: e.time,
+                device: DeviceInfo::new(DeviceId::new(e.device as u64), e.cap),
+            });
+        }
+        let next = e.time + repoll_ms;
+        if next >= end && !confirmed {
+            // Same under-estimation rule before ending the chain early.
+            end = devices.session_end(device);
+        }
+        if next < end {
+            let seq = queue.reserve_seq();
+            let shard = self.shard_of(device);
+            let entry = ShardEntry {
+                time: next,
+                seq,
+                end,
+                device: e.device,
+                gen: self.global_gen,
+                cap: e.cap,
+            };
+            self.shards[shard].q.push_back(entry);
+            if self.shards[shard].q.len() == 1 {
+                self.fronts[shard] = entry.key();
+            }
+            if entry.key() < self.min_front {
+                self.min_front = entry.key();
+            }
+        } else {
+            // Last grid poll of the session: the chain dies here.
+            devices.note_possible_retire(device, e.time);
+        }
+    }
+
+    /// Demand just opened: every parked poll re-enters the event queue at
+    /// its reserved `(time, seq)` position, drained across shards in
+    /// merged order — byte-identical pushes to the sequential arm's
+    /// single-deque drain.
+    pub fn wake(&mut self, queue: &mut EventQueue) {
+        loop {
+            let mut best: Option<usize> = None;
+            let mut best_key = EMPTY_KEY;
+            let mut runner_up = EMPTY_KEY;
+            for (i, &k) in self.fronts.iter().enumerate() {
+                if k < best_key {
+                    runner_up = best_key;
+                    best_key = k;
+                    best = Some(i);
+                } else if k < runner_up {
+                    runner_up = k;
+                }
+            }
+            let Some(i) = best else {
+                // Fully drained: nothing parked anywhere.
+                self.min_front = EMPTY_KEY;
+                return;
+            };
+            loop {
+                let e = self.shards[i].q.pop_front().expect("cached front key");
+                self.fronts[i] = front_key(&self.shards[i].q);
+                queue.push_reserved(
+                    e.time,
+                    e.seq,
+                    EventKind::CheckIn {
+                        device: e.device as usize,
+                    },
+                );
+                if self.fronts[i] >= runner_up {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// The front entry's key, or the [`EMPTY_KEY`] sentinel for an idle
+/// shard — the value the `fronts` cache holds for that shard.
+fn front_key(q: &VecDeque<ShardEntry>) -> (SimTime, u64) {
+    q.front().map_or(EMPTY_KEY, |f| f.key())
+}
+
+/// Makes one entry's cached end self-sufficient for the merge: if the
+/// cache cannot prove the whole elapse alive (fresh generation, check-in
+/// and continuation both strictly inside the session), the authoritative
+/// end is re-read from the pool. Pure per entry — safe to run on worker
+/// threads over disjoint outboxes.
+fn resolve_entry(e: &mut ShardEntry, gen: u32, repoll_ms: SimTime, pool: &DevicePool) {
+    let alive_on_cache = e.gen == gen && e.time < e.end && e.time + repoll_ms < e.end;
+    if !alive_on_cache {
+        e.end = pool.session_end(e.device as usize);
+        e.gen = gen;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::QueueKind;
+    use venn_traces::CapacityModel;
+
+    fn cap(x: f64) -> Capacity {
+        Capacity::new(x, x)
+    }
+
+    fn pool(n: usize, session_end: SimTime) -> DevicePool {
+        let mut p = DevicePool::lazy(CapacityModel::default(), 7, n);
+        for d in 0..n {
+            p.begin_session(d, session_end);
+        }
+        p
+    }
+
+    #[test]
+    fn shard_ranges_are_contiguous_and_cover_the_population() {
+        let plane = ShardPlane::new(10, 3);
+        let owners: Vec<usize> = (0..10).map(|d| plane.shard_of(d)).collect();
+        assert_eq!(owners, vec![0, 0, 0, 0, 1, 1, 1, 2, 2, 2]);
+        let one = ShardPlane::new(5, 1);
+        assert!((0..5).all(|d| one.shard_of(d) == 0));
+    }
+
+    #[test]
+    fn wake_drains_across_shards_in_time_seq_order() {
+        let mut plane = ShardPlane::new(9, 3);
+        let mut queue = EventQueue::with_kind(QueueKind::Heap);
+        // Park out of device order but in per-shard key order.
+        for (device, time) in [(0usize, 500u64), (4, 200), (8, 200), (1, 900), (5, 650)] {
+            let seq = queue.reserve_seq();
+            plane.park(device, time, seq, 10_000, cap(0.5));
+        }
+        plane.wake(&mut queue);
+        assert!(plane.is_empty());
+        let mut popped = Vec::new();
+        while let Some(e) = queue.pop() {
+            popped.push((e.time, e.seq));
+        }
+        let mut sorted = popped.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            popped, sorted,
+            "wake must re-enter the queue in (time, seq) order"
+        );
+        assert_eq!(popped.len(), 5);
+    }
+
+    /// The bulk path (scan → resolve → merge) and the direct path must
+    /// produce identical observation streams and identical continuation
+    /// states — exercised well past `PAR_THRESHOLD` so the parallel
+    /// resolve runs for real.
+    #[test]
+    fn bulk_and_direct_paths_agree_past_the_parallel_threshold() {
+        let n = 2 * PAR_THRESHOLD; // two laps of elapses per chain below
+        let run = |shards: u32| {
+            let mut plane = ShardPlane::new(n, shards);
+            // Even on a single-core test host, run the threaded resolve
+            // for real — its output must match the serial path's.
+            plane.force_parallel_resolve();
+            let mut queue = EventQueue::with_kind(QueueKind::Heap);
+            let mut devices = pool(n, 1_000_000);
+            for d in 0..n {
+                let seq = queue.reserve_seq();
+                // Non-decreasing times (parks always arrive in stream
+                // order), with plateaus wide enough that same-time
+                // entries span shard boundaries — the seq tie-break must
+                // arbitrate across shards.
+                let time = 60_000 + (d / (n / 4)) as u64 * 30;
+                plane.park(d, time, seq, 1_000_000, cap(0.5));
+            }
+            // One big barrier window: every chain elapses twice.
+            plane.advance(
+                150_000,
+                u64::MAX,
+                2_000_000,
+                60_000,
+                &mut devices,
+                &mut queue,
+                true,
+            );
+            let obs: Vec<(SimTime, u64)> = plane
+                .observations()
+                .iter()
+                .map(|r| (r.time, r.device.id().as_u64()))
+                .collect();
+            plane.clear_observations();
+            plane.wake(&mut queue);
+            let mut stream = Vec::new();
+            while let Some(e) = queue.pop() {
+                stream.push((e.time, e.seq));
+            }
+            (obs, stream)
+        };
+        let single = run(1);
+        for shards in [2, 4, 7] {
+            assert_eq!(run(shards), single, "shards={shards}");
+        }
+        assert_eq!(single.0.len(), 2 * n, "each chain elapses exactly twice");
+    }
+
+    #[test]
+    fn stale_generation_rereads_the_pool() {
+        let mut plane = ShardPlane::new(4, 2);
+        let mut queue = EventQueue::with_kind(QueueKind::Heap);
+        let mut devices = pool(4, 500_000);
+        let seq = queue.reserve_seq();
+        plane.park(1, 100_000, seq, 500_000, cap(0.5));
+        // A fault forces the device offline after it parked: the cached
+        // end (500_000) now over-estimates.
+        devices.force_offline(1, 50_000);
+        plane.bump_gen();
+        plane.advance(
+            200_000,
+            u64::MAX,
+            1_000_000,
+            60_000,
+            &mut devices,
+            &mut queue,
+            true,
+        );
+        assert!(
+            plane.observations().is_empty(),
+            "dead chain must not observe"
+        );
+        assert!(plane.is_empty(), "chain must die, not re-park");
+    }
+}

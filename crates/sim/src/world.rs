@@ -28,12 +28,13 @@ use venn_traces::dist::LogNormal;
 use venn_traces::Workload;
 
 use crate::cohort::CohortSet;
-use crate::config::{PopMode, SimConfig};
+use crate::config::{ExecMode, PopMode, SimConfig};
 use crate::device_pool::DevicePool;
 use crate::event::{Event, EventKind, EventQueue};
 use crate::job_table::{JobPhase, JobTable};
 use crate::observer::SimObserver;
 use crate::result::{RoundLog, SimResult};
+use crate::shard::ShardPlane;
 
 /// A check-in suppressed by demand gating: the poll this device *would*
 /// have performed had it stayed in the event queue.
@@ -128,7 +129,15 @@ pub struct World<'w> {
     /// The ordering is maintained with plain `push_back`s: every entry is
     /// created `repoll_ms` after a stream position that is itself
     /// non-decreasing, so a new entry's key always trails the back's.
+    ///
+    /// Unused (always empty) under [`ExecMode::Sharded`], where the
+    /// sharded poll plane below holds the parked set instead.
     parked: VecDeque<ParkedPoll>,
+    /// The device-sharded poll plane (`None` on the sequential arm): the
+    /// parked set split into per-device-range shards that elapse in
+    /// lock-step between dispatched events and merge their effects by
+    /// `(time, seq)` — bit-identical results, parallel-friendly windows.
+    shard_plane: Option<Box<ShardPlane>>,
     /// Compiled environment dynamics (`None` on the env-off arm — the
     /// kernel then takes its pre-environment paths untouched). All
     /// environment randomness lives in the runtime's own split streams,
@@ -280,11 +289,18 @@ impl<'w> World<'w> {
             Some(e) => EnvStats::with_tiers(e.tier_count()),
             None => EnvStats::default(),
         };
+        let shard_plane = match config.exec {
+            ExecMode::Sequential => None,
+            ExecMode::Sharded { shards } => {
+                Some(Box::new(ShardPlane::new(config.population, shards)))
+            }
+        };
         World {
             devices,
             jobs: JobTable::new(workload, config.thresholds),
             queue,
             parked: VecDeque::new(),
+            shard_plane,
             env,
             cohorts,
             session_stream,
@@ -332,8 +348,8 @@ impl<'w> World<'w> {
         let Some(event) = self.queue.pop() else {
             return false;
         };
-        if !self.parked.is_empty() {
-            self.advance_parked(event.time, event.seq, scheduler);
+        if self.has_parked() {
+            self.advance_polls(event.time, event.seq, scheduler);
         }
         // After parked polls up to this instant have been settled, retire
         // lazily-stored devices whose noted session ends have passed (any
@@ -426,6 +442,47 @@ impl<'w> World<'w> {
         while let Some(p) = self.parked.pop_front() {
             self.queue
                 .push_reserved(p.time, p.seq, EventKind::CheckIn { device: p.device });
+        }
+    }
+
+    /// Whether any poll is parked, on whichever plane this run uses.
+    fn has_parked(&self) -> bool {
+        match &self.shard_plane {
+            Some(plane) => !plane.is_empty(),
+            None => !self.parked.is_empty(),
+        }
+    }
+
+    /// Elapses parked polls up to the `(time, seq)` barrier on the active
+    /// plane. On the sharded plane the per-shard streams merge first and
+    /// the batched supply observations are replayed into the scheduler in
+    /// one call — same observations, same order, same timestamps as the
+    /// sequential arm's per-poll `on_check_in` calls.
+    fn advance_polls(&mut self, time: SimTime, seq: u64, scheduler: &mut dyn Scheduler) {
+        if let Some(plane) = &mut self.shard_plane {
+            plane.advance(
+                time,
+                seq,
+                self.horizon,
+                self.config.repoll_ms,
+                &mut self.devices,
+                &mut self.queue,
+                scheduler.observes_check_ins(),
+            );
+            if !plane.observations().is_empty() {
+                scheduler.replay_check_ins(plane.observations());
+                plane.clear_observations();
+            }
+        } else {
+            self.advance_parked(time, seq, scheduler);
+        }
+    }
+
+    /// Wakes every parked poll on the active plane.
+    fn wake_polls(&mut self) {
+        match &mut self.shard_plane {
+            Some(plane) => plane.wake(&mut self.queue),
+            None => self.wake_parked(),
         }
     }
 
@@ -522,8 +579,8 @@ impl<'w> World<'w> {
             now,
         );
         // Demand just opened: parked devices resume polling.
-        if !self.parked.is_empty() {
-            self.wake_parked();
+        if self.has_parked() {
+            self.wake_polls();
         }
         // Async rounds carry no deadline: like buffered-asynchronous FL,
         // the aggregation fires whenever the quorum of updates arrives, so
@@ -619,14 +676,18 @@ impl<'w> World<'w> {
                 // repoll flood — reserving the poll's seq so a wake-up
                 // re-enters the stream at the exact un-gated position.
                 let next = now + self.config.repoll_ms;
-                if next < self.devices.session_end(device) {
+                let end = self.devices.session_end(device);
+                if next < end {
                     if self.config.demand_gating && !scheduler.has_open_demand() {
                         let seq = self.queue.reserve_seq();
-                        self.parked.push_back(ParkedPoll {
-                            time: next,
-                            seq,
-                            device,
-                        });
+                        match &mut self.shard_plane {
+                            Some(plane) => plane.park(device, next, seq, end, *info.capacity()),
+                            None => self.parked.push_back(ParkedPoll {
+                                time: next,
+                                seq,
+                                device,
+                            }),
+                        }
                     } else {
                         self.queue.push(next, EventKind::CheckIn { device });
                     }
@@ -1051,12 +1112,17 @@ impl<'w> World<'w> {
             (d.busy && d.held, d.busy && !d.held, d.held_job)
         };
         self.devices.force_offline(device, now);
+        // The one transition that can shrink a session: invalidate the
+        // sharded plane's cached session ends.
+        if let Some(plane) = &mut self.shard_plane {
+            plane.bump_gen();
+        }
         if was_held {
             self.release_hold(held_job, device, now, scheduler);
             // Demand reopened without a `submit`: wake parked pollers so
             // the gated arm keeps matching the un-gated reference.
-            if !self.parked.is_empty() {
-                self.wake_parked();
+            if self.has_parked() {
+                self.wake_polls();
             }
         } else if was_computing {
             self.devices.mark_failed_task(device);

@@ -1,0 +1,5 @@
+//! Shared helpers for the integration-test suites. Cargo does not turn
+//! files in subdirectories of `tests/` into test targets, so this module
+//! is pulled in by each suite that needs it via `mod common;`.
+
+pub mod parity;

@@ -1,0 +1,150 @@
+//! The shared differential-test harness: run one experiment under two
+//! configurations and byte-compare the full observable surface.
+//!
+//! Every parity suite in `tests/` is a variation on the same shape —
+//! build a deterministic workload, run it under a reference arm and a
+//! candidate arm, and assert the candidate changed *cost only*, never
+//! behavior. This module centralizes that shape:
+//!
+//! - [`observe`] / [`observe_kind`] run one `(config, workload,
+//!   scheduler)` cell and capture everything a run exposes: the
+//!   [`SimResult`], the full assignment stream, and the full dispatched
+//!   event trace.
+//! - [`assert_run_parity`] is the strict comparison — every
+//!   deterministic field byte for byte, including the event stream and
+//!   `peak_queue_len`. Two arms that claim bit-identity (storage modes,
+//!   sharded execution, incremental scheduling) must pass this.
+//! - [`assert_outcome_parity`] is the weaker comparison for arms that
+//!   legitimately dispatch a *different event stream* (demand gating
+//!   off re-polls idle devices) but must still produce identical
+//!   scheduling outcomes.
+//!
+//! The conventional scheduler seed is `sim.seed ^ SCHED_SEED_SALT`, so
+//! arms that differ only in kernel configuration share scheduler RNG
+//! streams.
+
+// Each integration-test crate compiles its own copy of this module and
+// uses a subset of it.
+#![allow(dead_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use venn::bench::SchedKind;
+use venn::core::{Scheduler, VennConfig, MINUTE_MS};
+use venn::sim::{AssignmentLog, EventTrace, SimConfig, SimResult, Simulation};
+use venn::traces::{JobDemandModel, Workload, WorkloadKind};
+
+/// Salt XOR-ed into the simulation seed to derive the scheduler seed,
+/// shared by every suite so arms compare like with like.
+pub const SCHED_SEED_SALT: u64 = 0xA5A5;
+
+/// Everything one run exposes: the final result plus the complete
+/// assignment and dispatched-event streams.
+#[derive(Debug, Clone)]
+pub struct Observed {
+    pub result: SimResult,
+    pub log: AssignmentLog,
+    pub trace: EventTrace,
+}
+
+/// All eight scheduler arms the differential suites sweep: the three
+/// baselines, the three Venn ablations, and two `VennWith` variants
+/// (fairness knob, steal disabled).
+pub fn every_sched_kind() -> Vec<SchedKind> {
+    vec![
+        SchedKind::Random,
+        SchedKind::Fifo,
+        SchedKind::Srsf,
+        SchedKind::Venn,
+        SchedKind::VennWoSched,
+        SchedKind::VennWoMatch,
+        SchedKind::VennWith(VennConfig::with_fairness(2.0)),
+        SchedKind::VennWith(VennConfig {
+            use_steal: false,
+            ..VennConfig::default()
+        }),
+    ]
+}
+
+/// The small-but-contended workload shared by the parity suites: enough
+/// churn to cross the periodic refresh interval and exercise steals,
+/// tiers, and re-submissions, while staying fast enough to sweep every
+/// `SchedKind` across seeds.
+pub fn contended_workload(seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    Workload::generate(
+        WorkloadKind::Even,
+        None,
+        6,
+        &JobDemandModel {
+            rounds_mean: 3.0,
+            rounds_max: 5,
+            demand_mean: 10.0,
+            demand_max: 20,
+            ..JobDemandModel::default()
+        },
+        10.0 * MINUTE_MS as f64,
+        &mut rng,
+    )
+}
+
+/// Runs one cell under `scheduler`, capturing the full observable
+/// surface.
+pub fn observe(sim: SimConfig, workload: &Workload, scheduler: &mut dyn Scheduler) -> Observed {
+    let mut log = AssignmentLog::default();
+    let mut trace = EventTrace::default();
+    let result =
+        Simulation::new(sim).run_observed(workload, scheduler, &mut [&mut log, &mut trace]);
+    Observed { result, log, trace }
+}
+
+/// Builds `kind` with the conventional scheduler seed and runs it.
+pub fn observe_kind(sim: SimConfig, workload: &Workload, kind: SchedKind) -> Observed {
+    let mut sched = kind.build(sim.seed ^ SCHED_SEED_SALT);
+    observe(sim, workload, &mut *sched)
+}
+
+/// Strict parity: every deterministic field of the observable surface,
+/// byte for byte. Arms that claim bit-identity must pass this.
+pub fn assert_run_parity(a: &Observed, b: &Observed, ctx: &str) {
+    assert_eq!(a.result.records, b.result.records, "{ctx}: job records");
+    assert_eq!(a.result.rounds, b.result.rounds, "{ctx}: round logs");
+    assert_eq!(
+        a.result.aborted_rounds, b.result.aborted_rounds,
+        "{ctx}: aborts"
+    );
+    assert_eq!(
+        a.result.assignments, b.result.assignments,
+        "{ctx}: assignment count"
+    );
+    assert_eq!(a.result.failures, b.result.failures, "{ctx}: failures");
+    assert_eq!(a.result.events, b.result.events, "{ctx}: dispatched events");
+    assert_eq!(
+        a.result.peak_queue_len, b.result.peak_queue_len,
+        "{ctx}: peak queue"
+    );
+    assert_eq!(a.result.env, b.result.env, "{ctx}: env counters");
+    assert_eq!(a.log, b.log, "{ctx}: assignment stream");
+    assert_eq!(a.trace, b.trace, "{ctx}: event trace");
+}
+
+/// Outcome parity for arms whose event *streams* legitimately differ
+/// (demand gating off dispatches extra polls): the scheduling outcome —
+/// records, rounds, assignment stream, aborts, failures, environment
+/// counters — must still be identical.
+pub fn assert_outcome_parity(a: &Observed, b: &Observed, ctx: &str) {
+    assert_eq!(a.result.records, b.result.records, "{ctx}: job records");
+    assert_eq!(a.result.rounds, b.result.rounds, "{ctx}: round logs");
+    assert_eq!(
+        a.result.aborted_rounds, b.result.aborted_rounds,
+        "{ctx}: aborts"
+    );
+    assert_eq!(
+        a.result.assignments, b.result.assignments,
+        "{ctx}: assignment count"
+    );
+    assert_eq!(a.result.failures, b.result.failures, "{ctx}: failures");
+    assert_eq!(a.result.env, b.result.env, "{ctx}: env counters");
+    assert_eq!(a.log, b.log, "{ctx}: assignment stream");
+}

@@ -12,18 +12,23 @@
 //! Plus the quorum/abort edge case of the new mid-round dropout path: a
 //! round whose dropouts land the report count exactly on the 80 % quorum
 //! boundary succeeds, while one more dropout aborts it.
+//!
+//! Built on the shared differential harness in `tests/common/parity.rs`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+mod common;
 
-use venn::bench::{baseline_rows, diff_rows, parse_baseline, run_baseline, Experiment, SchedKind};
-use venn::core::{JobId, SimTime, SpecCategory, VennConfig, MINUTE_MS};
+use common::parity::{
+    assert_outcome_parity, assert_run_parity, contended_workload, every_sched_kind, observe_kind,
+    Observed,
+};
+
+use venn::bench::{baseline_rows, diff_rows, parse_baseline, run_baseline, SchedKind};
+use venn::core::{JobId, SimTime, SpecCategory};
 use venn::env::{DeviceFault, EnvConfig, EnvPreset};
 use venn::sim::{
-    AssignmentLog, EventKind, QueueKind, RoundRecorder, SimConfig, SimObserver, SimResult,
-    Simulation,
+    EventKind, QueueKind, RoundRecorder, SimConfig, SimObserver, SimResult, Simulation,
 };
-use venn::traces::{JobDemandModel, JobPlan, Workload, WorkloadKind};
+use venn::traces::{JobPlan, Workload};
 
 const PRESETS: [EnvPreset; 3] = [
     EnvPreset::FlashCrowd,
@@ -33,55 +38,19 @@ const PRESETS: [EnvPreset; 3] = [
 
 /// The same small-but-contended experiment the incremental parity
 /// harness uses, with a scenario preset applied.
-fn experiment(seed: u64, env: EnvPreset) -> Experiment {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
-    let workload = Workload::generate(
-        WorkloadKind::Even,
-        None,
-        6,
-        &JobDemandModel {
-            rounds_mean: 3.0,
-            rounds_max: 5,
-            demand_mean: 10.0,
-            demand_max: 20,
-            ..JobDemandModel::default()
-        },
-        10.0 * MINUTE_MS as f64,
-        &mut rng,
-    );
-    Experiment {
-        sim: SimConfig {
-            population: 400,
-            days: 2,
-            seed,
-            env: env.config(),
-            ..SimConfig::default()
-        },
-        workload,
-    }
+fn experiment(seed: u64, env: EnvPreset) -> (SimConfig, Workload) {
+    let sim = SimConfig {
+        population: 400,
+        days: 2,
+        seed,
+        env: env.config(),
+        ..SimConfig::default()
+    };
+    (sim, contended_workload(seed))
 }
 
-fn every_sched_kind() -> Vec<SchedKind> {
-    vec![
-        SchedKind::Random,
-        SchedKind::Fifo,
-        SchedKind::Srsf,
-        SchedKind::Venn,
-        SchedKind::VennWoSched,
-        SchedKind::VennWoMatch,
-        SchedKind::VennWith(VennConfig::with_fairness(2.0)),
-        SchedKind::VennWith(VennConfig {
-            use_steal: false,
-            ..VennConfig::default()
-        }),
-    ]
-}
-
-fn run_logged(exp: &Experiment, kind: SchedKind) -> (SimResult, AssignmentLog) {
-    let mut sched = kind.build(exp.sim.seed ^ 0xA5A5);
-    let mut log = AssignmentLog::default();
-    let result = Simulation::new(exp.sim).run_observed(&exp.workload, &mut *sched, &mut [&mut log]);
-    (result, log)
+fn run_logged(sim: SimConfig, workload: &Workload, kind: SchedKind) -> Observed {
+    observe_kind(sim, workload, kind)
 }
 
 /// Replaying the committed benchmark baseline with the environment
@@ -113,21 +82,14 @@ fn env_off_reproduces_the_committed_baseline_exactly() {
 fn presets_replay_identically_for_every_sched_kind() {
     for preset in PRESETS {
         for seed in [101u64, 102] {
-            let exp = experiment(seed, preset);
+            let (sim, workload) = experiment(seed, preset);
             for kind in every_sched_kind() {
-                let (ra, la) = run_logged(&exp, kind);
-                let (rb, lb) = run_logged(&exp, kind);
+                let a = run_logged(sim, &workload, kind);
+                let b = run_logged(sim, &workload, kind);
+                assert_run_parity(&a, &b, &format!("{preset:?} {kind:?} seed {seed}"));
                 assert_eq!(
-                    la.assignments, lb.assignments,
-                    "{preset:?} {kind:?} seed {seed}: assignment streams diverged"
-                );
-                assert_eq!(ra.records, rb.records, "{preset:?} {kind:?} seed {seed}");
-                assert_eq!(ra.events, rb.events, "{preset:?} {kind:?} seed {seed}");
-                assert_eq!(ra.failures, rb.failures, "{preset:?} {kind:?} seed {seed}");
-                assert_eq!(ra.env, rb.env, "{preset:?} {kind:?} seed {seed}");
-                assert_eq!(
-                    ra.records.len(),
-                    exp.workload.jobs.len(),
+                    a.result.records.len(),
+                    workload.jobs.len(),
                     "{preset:?} {kind:?}"
                 );
             }
@@ -142,40 +104,36 @@ fn presets_replay_identically_for_every_sched_kind() {
 #[test]
 fn gating_and_queue_arms_stay_identical_under_env_presets() {
     for preset in PRESETS {
-        let exp = experiment(103, preset);
+        let (sim, workload) = experiment(103, preset);
         for kind in [SchedKind::Random, SchedKind::Srsf, SchedKind::Venn] {
-            let (r_def, log_def) = run_logged(&exp, kind);
-            let ungated = Experiment {
-                sim: SimConfig {
+            let def = run_logged(sim, &workload, kind);
+            let ungated = run_logged(
+                SimConfig {
                     demand_gating: false,
-                    ..exp.sim
+                    ..sim
                 },
-                workload: exp.workload.clone(),
-            };
-            let heap = Experiment {
-                sim: SimConfig {
+                &workload,
+                kind,
+            );
+            let heap = run_logged(
+                SimConfig {
                     queue: QueueKind::Heap,
-                    ..exp.sim
+                    ..sim
                 },
-                workload: exp.workload.clone(),
-            };
-            let (r_ungated, log_ungated) = run_logged(&ungated, kind);
-            let (r_heap, log_heap) = run_logged(&heap, kind);
-            for (label, r, log) in [
-                ("gating-off", &r_ungated, &log_ungated),
-                ("heap-queue", &r_heap, &log_heap),
-            ] {
-                assert_eq!(
-                    log_def.assignments, log.assignments,
-                    "{preset:?} {kind:?} vs {label}: assignment streams diverged"
-                );
-                assert_eq!(r_def.records, r.records, "{preset:?} {kind:?} vs {label}");
-                assert_eq!(r_def.failures, r.failures, "{preset:?} {kind:?} vs {label}");
-                assert_eq!(r_def.env, r.env, "{preset:?} {kind:?} vs {label}");
-            }
-            assert_eq!(r_def.events, r_heap.events, "{preset:?} {kind:?}");
+                &workload,
+                kind,
+            );
+            assert_outcome_parity(
+                &def,
+                &ungated,
+                &format!("{preset:?} {kind:?} vs gating-off"),
+            );
+            assert_outcome_parity(&def, &heap, &format!("{preset:?} {kind:?} vs heap-queue"));
+            // Both default-config arms dispatch the same events; gating
+            // is the only thing allowed to shrink the count.
+            assert_eq!(def.result.events, heap.result.events, "{preset:?} {kind:?}");
             assert!(
-                r_def.events <= r_ungated.events,
+                def.result.events <= ungated.result.events,
                 "{preset:?} {kind:?}: gating may only remove events"
             );
         }
@@ -187,14 +145,18 @@ fn gating_and_queue_arms_stay_identical_under_env_presets() {
 /// offline.
 #[test]
 fn presets_visibly_perturb_the_run() {
-    let off = run_logged(&experiment(104, EnvPreset::Off), SchedKind::Fifo).0;
+    let run_preset = |preset| {
+        let (sim, workload) = experiment(104, preset);
+        run_logged(sim, &workload, SchedKind::Fifo).result
+    };
+    let off = run_preset(EnvPreset::Off);
     assert!(off.env.is_empty());
-    let crowd = run_logged(&experiment(104, EnvPreset::FlashCrowd), SchedKind::Fifo).0;
+    let crowd = run_preset(EnvPreset::FlashCrowd);
     assert_ne!(
         off.events, crowd.events,
         "flash-crowd sessions must change the event stream"
     );
-    let straggler = run_logged(&experiment(104, EnvPreset::StragglerHeavy), SchedKind::Fifo).0;
+    let straggler = run_preset(EnvPreset::StragglerHeavy);
     assert_eq!(straggler.env.tier_response_ms.len(), 4);
     assert!(
         straggler
@@ -206,7 +168,7 @@ fn presets_visibly_perturb_the_run() {
             > 0,
         "tier histograms must fill"
     );
-    let dropout = run_logged(&experiment(104, EnvPreset::MassDropout), SchedKind::Fifo).0;
+    let dropout = run_preset(EnvPreset::MassDropout);
     assert!(
         dropout.env.forced_offline > 0,
         "mass-offline waves must claim victims: {:?}",

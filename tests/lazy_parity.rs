@@ -9,6 +9,12 @@
 //! kitchen-sink chaos environment (whose mass-offline waves and scripted
 //! faults hit devices that were never otherwise touched, exercising the
 //! absent-device fast paths).
+//!
+//! Built on the shared differential harness in `tests/common/parity.rs`.
+
+mod common;
+
+use common::parity::{assert_run_parity, observe, Observed, SCHED_SEED_SALT};
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -17,7 +23,7 @@ use rand::SeedableRng;
 use venn::baselines::BaselineScheduler;
 use venn::core::{Scheduler, VennConfig, VennScheduler};
 use venn::env::EnvPreset;
-use venn::sim::{AssignmentLog, EventTrace, PopMode, SimConfig, SimResult, Simulation};
+use venn::sim::{PopMode, SimConfig, Simulation};
 use venn::traces::Workload;
 
 fn config(seed: u64, population: usize, days: u32, env: EnvPreset) -> SimConfig {
@@ -46,38 +52,10 @@ fn build_sched(name: &str, seed: u64) -> Box<dyn Scheduler> {
 
 /// Runs one (config, workload, scheduler) cell under the given storage
 /// mode, capturing the full observable surface.
-fn run_mode(
-    base: SimConfig,
-    pop_mode: PopMode,
-    workload: &Workload,
-    sched: &str,
-) -> (SimResult, AssignmentLog, EventTrace) {
+fn run_mode(base: SimConfig, pop_mode: PopMode, workload: &Workload, sched: &str) -> Observed {
     let cfg = SimConfig { pop_mode, ..base };
-    let mut scheduler = build_sched(sched, cfg.seed ^ 0xA5A5);
-    let mut log = AssignmentLog::default();
-    let mut trace = EventTrace::default();
-    let result =
-        Simulation::new(cfg).run_observed(workload, &mut *scheduler, &mut [&mut log, &mut trace]);
-    (result, log, trace)
-}
-
-fn assert_parity(
-    dense: &(SimResult, AssignmentLog, EventTrace),
-    lazy: &(SimResult, AssignmentLog, EventTrace),
-    ctx: &str,
-) {
-    let (d, dl, dt) = dense;
-    let (l, ll, lt) = lazy;
-    assert_eq!(d.records, l.records, "{ctx}: job records");
-    assert_eq!(d.rounds, l.rounds, "{ctx}: round logs");
-    assert_eq!(d.aborted_rounds, l.aborted_rounds, "{ctx}: aborts");
-    assert_eq!(d.assignments, l.assignments, "{ctx}: assignment count");
-    assert_eq!(d.failures, l.failures, "{ctx}: failures");
-    assert_eq!(d.events, l.events, "{ctx}: dispatched events");
-    assert_eq!(d.peak_queue_len, l.peak_queue_len, "{ctx}: peak queue");
-    assert_eq!(d.env, l.env, "{ctx}: env counters");
-    assert_eq!(dl, ll, "{ctx}: assignment stream");
-    assert_eq!(dt, lt, "{ctx}: event trace");
+    let mut scheduler = build_sched(sched, cfg.seed ^ SCHED_SEED_SALT);
+    observe(cfg, workload, &mut *scheduler)
 }
 
 #[test]
@@ -90,7 +68,7 @@ fn lazy_matches_split_eager_across_seeds_schedulers_and_envs() {
                 let base = config(seed, 600, 3, env);
                 let dense = run_mode(base, PopMode::SplitEager, &workload, sched);
                 let lazy = run_mode(base, PopMode::Lazy, &workload, sched);
-                assert_parity(
+                assert_run_parity(
                     &dense,
                     &lazy,
                     &format!("seed {seed} env {env:?} sched {sched}"),
@@ -115,7 +93,7 @@ fn lazy_arm_materializes_a_fraction_of_the_population() {
         pop_mode: PopMode::Lazy,
         ..SimConfig::default()
     };
-    let mut scheduler = build_sched("venn", seed ^ 0xA5A5);
+    let mut scheduler = build_sched("venn", seed ^ SCHED_SEED_SALT);
     let name = scheduler.name().to_string();
     let sim = Simulation::new(cfg);
     let mut world = sim.world(&workload, &name);
@@ -151,14 +129,12 @@ proptest! {
         let base = config(seed, population, days, env);
         let dense = run_mode(base, PopMode::SplitEager, &workload, sched);
         let lazy = run_mode(base, PopMode::Lazy, &workload, sched);
-        let (d, dl, dt) = &dense;
-        let (l, ll, lt) = &lazy;
-        prop_assert_eq!(&d.records, &l.records);
-        prop_assert_eq!(&d.rounds, &l.rounds);
-        prop_assert_eq!(d.events, l.events);
-        prop_assert_eq!(d.peak_queue_len, l.peak_queue_len);
-        prop_assert_eq!(&d.env, &l.env);
-        prop_assert_eq!(dl, ll);
-        prop_assert_eq!(dt, lt);
+        prop_assert_eq!(&dense.result.records, &lazy.result.records);
+        prop_assert_eq!(&dense.result.rounds, &lazy.result.rounds);
+        prop_assert_eq!(dense.result.events, lazy.result.events);
+        prop_assert_eq!(dense.result.peak_queue_len, lazy.result.peak_queue_len);
+        prop_assert_eq!(&dense.result.env, &lazy.result.env);
+        prop_assert_eq!(&dense.log, &lazy.log);
+        prop_assert_eq!(&dense.trace, &lazy.trace);
     }
 }

@@ -9,6 +9,15 @@
 //! that grows every scratch buffer to its high-water mark, an identical
 //! traffic pass must perform exactly zero allocations.
 //!
+//! The same contract extends to the sharded execution plane: once its
+//! per-shard deques, outbox scratch, and observation batch have grown to
+//! their high-water marks, a full park → advance → wake cycle must
+//! allocate nothing — on both the k-way-merge fast path and the bulk
+//! outbox path. (The *parallel* bulk resolve, used above
+//! `PAR_THRESHOLD` entries with multiple shards, spawns worker threads
+//! and is allocating by design; it is exercised for correctness in
+//! `tests/shard_determinism.rs` instead.)
+//!
 //! This file deliberately contains a single `#[test]` so no concurrent
 //! test pollutes the process-wide allocation counter.
 
@@ -18,6 +27,9 @@ use venn::core::{
     VennScheduler,
 };
 use venn::metrics::alloc::{allocation_calls as allocations, TrackingAlloc};
+use venn::sim::shard::PAR_THRESHOLD;
+use venn::sim::{DevicePool, EventQueue, QueueKind, ShardPlane};
+use venn::traces::CapacityModel;
 
 // The shared counting allocator from `venn-metrics` (grown out of this
 // harness): `allocation_calls()` counts every alloc/realloc entry point,
@@ -107,6 +119,62 @@ fn assert_no_alloc_steady_state(mut sched: Box<dyn Scheduler>, label: &str) {
     );
 }
 
+/// One steady-state shard-plane cycle: park one poll per device on the
+/// repoll grid, elapse two grid steps (every chain survives and
+/// re-parks twice, filling the observation batch), then wake every
+/// parked continuation into the queue and drain it as the dispatcher
+/// would. The cached session ends prove every elapse alive, so the
+/// cycle never touches the device pool at all.
+fn drive_shard_cycle(
+    plane: &mut ShardPlane,
+    queue: &mut EventQueue,
+    pool: &mut DevicePool,
+    n: usize,
+    t: &mut u64,
+) {
+    const REPOLL: u64 = 60_000;
+    const FAR_END: u64 = 1 << 60;
+    let base = *t + REPOLL;
+    for d in 0..n {
+        let seq = queue.reserve_seq();
+        plane.park(d, base, seq, FAR_END, Capacity::new(0.5, 0.5));
+    }
+    *t = base + 2 * REPOLL;
+    plane.advance(*t, 0, u64::MAX, REPOLL, pool, queue, true);
+    assert_eq!(
+        plane.observations().len(),
+        2 * n,
+        "each chain elapses twice"
+    );
+    plane.clear_observations();
+    plane.wake(queue);
+    assert_eq!(plane.len(), 0);
+    while queue.pop().is_some() {}
+}
+
+/// Warm a shard plane to its steady state, then assert a full
+/// park → advance → wake cycle allocates nothing.
+fn assert_no_alloc_shard_plane(shards: u32, n: usize, label: &str) {
+    let mut pool = DevicePool::lazy(CapacityModel::default(), 7, n);
+    for d in 0..n {
+        pool.begin_session(d, 1 << 60);
+    }
+    let mut plane = ShardPlane::new(n, shards);
+    let mut queue = EventQueue::with_kind(QueueKind::Heap);
+    let mut t = 0_u64;
+    for _ in 0..4 {
+        drive_shard_cycle(&mut plane, &mut queue, &mut pool, n, &mut t);
+    }
+
+    let before = allocations();
+    drive_shard_cycle(&mut plane, &mut queue, &mut pool, n, &mut t);
+    let delta = allocations() - before;
+    assert_eq!(
+        delta, 0,
+        "{label}: steady-state shard cycle performed {delta} allocations"
+    );
+}
+
 #[test]
 fn schedulers_do_not_allocate_in_steady_state() {
     // The supply window bounds the check-in queue's occupancy; a short
@@ -148,4 +216,14 @@ fn schedulers_do_not_allocate_in_steady_state() {
     assert_no_alloc_steady_state(Box::new(BaselineScheduler::random_order(42)), "random");
     assert_no_alloc_steady_state(Box::new(BaselineScheduler::fifo()), "fifo");
     assert_no_alloc_steady_state(Box::new(BaselineScheduler::srsf()), "srsf");
+    // The sharded execution plane: the k-way-merge fast path (well under
+    // the bulk threshold, several shards) and the serial bulk outbox
+    // path (past the threshold on one shard, so the lap machinery runs
+    // without the deliberately-allocating parallel fan-out).
+    assert_no_alloc_shard_plane(4, 512, "shard-plane fast path");
+    assert_no_alloc_shard_plane(
+        1,
+        PAR_THRESHOLD + PAR_THRESHOLD / 2,
+        "shard-plane bulk path",
+    );
 }

@@ -1,0 +1,109 @@
+//! Property test for cross-shard merge determinism.
+//!
+//! Random corners of (seed, population, days, shard count, environment,
+//! scheduler) pin two claims about the epoch-barrier merge:
+//!
+//! 1. **Permutation-free total order** — the merged cross-shard elapse
+//!    stream is a strictly increasing `(time, seq)` sequence. This is
+//!    `debug_assert`ed inside `ShardPlane` on every applied entry, and
+//!    integration tests build with debug assertions on, so simply
+//!    driving the runs exercises the pin on every merge step.
+//! 2. **Interleaving independence** — running the identical sharded
+//!    configuration twice yields byte-identical results, and both match
+//!    the sequential arm. The merge order is fixed by `(time, seq)`
+//!    alone, never by which worker thread resolved an entry first, so
+//!    thread scheduling cannot leak into any observable field.
+//!
+//! Built on the shared differential harness in `tests/common/parity.rs`.
+
+mod common;
+
+use common::parity::{observe_kind, Observed};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use venn::bench::SchedKind;
+use venn::env::EnvPreset;
+use venn::sim::{ExecMode, SimConfig, Simulation};
+use venn::traces::Workload;
+
+fn corner(seed: u64, population: usize, days: u32, exec: ExecMode, env: EnvPreset) -> SimConfig {
+    SimConfig {
+        population,
+        days,
+        seed,
+        exec,
+        env: env.config(),
+        record_rounds: true,
+        ..SimConfig::small()
+    }
+}
+
+fn assert_byte_identical(a: &Observed, b: &Observed, ctx: &str) {
+    prop_assert_eq!(&a.result.records, &b.result.records, "{}: records", ctx);
+    prop_assert_eq!(&a.result.rounds, &b.result.rounds, "{}: rounds", ctx);
+    prop_assert_eq!(a.result.events, b.result.events, "{}: events", ctx);
+    prop_assert_eq!(
+        a.result.peak_queue_len,
+        b.result.peak_queue_len,
+        "{}: peak queue",
+        ctx
+    );
+    prop_assert_eq!(&a.result.env, &b.result.env, "{}: env counters", ctx);
+    prop_assert_eq!(&a.log, &b.log, "{}: assignment stream", ctx);
+    prop_assert_eq!(&a.trace, &b.trace, "{}: event trace", ctx);
+}
+
+proptest! {
+    /// Two identical sharded runs are byte-identical to each other and
+    /// to the sequential arm, for arbitrary shard counts (including ones
+    /// that do not divide the population), environments, and schedulers.
+    #[test]
+    fn merged_stream_is_a_deterministic_total_order(
+        seed in 0_u64..1_000_000,
+        population in 120_usize..280,
+        days in 2_u32..4,
+        shards in 1_u32..9,
+        env_pick in 0_u8..2,
+        sched_pick in 0_u8..2,
+    ) {
+        let env = if env_pick == 0 { EnvPreset::Off } else { EnvPreset::Chaos };
+        let kind = if sched_pick == 0 { SchedKind::Random } else { SchedKind::Venn };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let workload = Workload::default_scenario(4, &mut rng);
+
+        let sharded = corner(seed, population, days, ExecMode::Sharded { shards }, env);
+        let first = observe_kind(sharded, &workload, kind);
+        let second = observe_kind(sharded, &workload, kind);
+        assert_byte_identical(&first, &second, "run-to-run");
+
+        let sequential = corner(seed, population, days, ExecMode::Sequential, env);
+        let reference = observe_kind(sequential, &workload, kind);
+        assert_byte_identical(&reference, &first, "vs sequential");
+    }
+}
+
+/// Beyond-the-grid sanity: a run that crosses the parallel resolve
+/// threshold (population larger than `PAR_THRESHOLD` with gating parking
+/// most of it) still replays byte for byte. This drives the bulk outbox
+/// path with real worker threads rather than the serial fast path.
+#[test]
+fn bulk_parallel_path_replays_byte_for_byte() {
+    let seed = 99_u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let workload = Workload::default_scenario(6, &mut rng);
+    let sim = corner(
+        seed,
+        venn::sim::shard::PAR_THRESHOLD * 2,
+        2,
+        ExecMode::Sharded { shards: 4 },
+        EnvPreset::Off,
+    );
+    let a = Simulation::new(sim).run(&workload, &mut *SchedKind::Random.build(seed ^ 0xA5A5));
+    let b = Simulation::new(sim).run(&workload, &mut *SchedKind::Random.build(seed ^ 0xA5A5));
+    assert_eq!(a.records, b.records);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.peak_queue_len, b.peak_queue_len);
+}

@@ -1,0 +1,108 @@
+//! Sharded execution must be *invisible*: for every scheduler, seed, and
+//! environment, `ExecMode::Sharded` reproduces the sequential kernel's
+//! full observable surface byte for byte — records, round logs,
+//! assignment stream, dispatched event trace, peak queue depth, and
+//! environment counters.
+//!
+//! The sweep pins the two halves of that claim separately:
+//!
+//! - `shards = 1` ⇄ sequential: the shard plane's park/advance/wake
+//!   machinery itself (cached session ends, deferred observation replay,
+//!   outbox laps) changes nothing even with no partitioning at all.
+//! - `shards ∈ {2, 4, 7}` ⇄ `shards = 1`: partitioning and the k-way
+//!   `(time, seq)` merge across shard deques — including a shard count
+//!   that does not divide the population — change nothing either.
+//!
+//! Chaos arms route mass-offline waves and scripted faults through
+//! `force_device_offline`, exercising the generation-bump invalidation
+//! of cached session ends.
+//!
+//! Built on the shared differential harness in `tests/common/parity.rs`.
+
+mod common;
+
+use common::parity::{assert_run_parity, contended_workload, every_sched_kind, observe_kind};
+
+use venn::env::EnvPreset;
+use venn::sim::{ExecMode, SimConfig};
+
+const SEEDS: [u64; 3] = [101, 102, 103];
+const SHARD_COUNTS: [u32; 3] = [2, 4, 7];
+
+fn experiment(seed: u64, env: EnvPreset) -> SimConfig {
+    SimConfig {
+        population: 400,
+        days: 2,
+        seed,
+        env: env.config(),
+        // Round participant lists are the finest-grained output; compare
+        // them too.
+        record_rounds: true,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn sharded_matches_sequential_for_every_sched_kind_seed_and_env() {
+    for &seed in &SEEDS {
+        let workload = contended_workload(seed);
+        for env in [EnvPreset::Off, EnvPreset::Chaos] {
+            let sim = experiment(seed, env);
+            for kind in every_sched_kind() {
+                let sequential = observe_kind(sim, &workload, kind);
+                let one = observe_kind(
+                    SimConfig {
+                        exec: ExecMode::Sharded { shards: 1 },
+                        ..sim
+                    },
+                    &workload,
+                    kind,
+                );
+                assert_run_parity(
+                    &sequential,
+                    &one,
+                    &format!("{kind:?} seed {seed} env {env:?}: shards=1 vs sequential"),
+                );
+                for shards in SHARD_COUNTS {
+                    let many = observe_kind(
+                        SimConfig {
+                            exec: ExecMode::Sharded { shards },
+                            ..sim
+                        },
+                        &workload,
+                        kind,
+                    );
+                    assert_run_parity(
+                        &one,
+                        &many,
+                        &format!("{kind:?} seed {seed} env {env:?}: shards={shards} vs shards=1"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// More shards than devices degenerates gracefully: every device still
+/// lands in exactly one shard and the run stays byte-identical.
+#[test]
+fn more_shards_than_devices_is_still_exact() {
+    let seed = 7_u64;
+    let workload = contended_workload(seed);
+    let sim = SimConfig {
+        population: 40,
+        days: 2,
+        seed,
+        ..SimConfig::default()
+    };
+    let sequential = observe_kind(sim, &workload, every_sched_kind()[0]);
+    let over = observe_kind(
+        SimConfig {
+            exec: ExecMode::Sharded { shards: 64 },
+            ..sim
+        },
+        &workload,
+        every_sched_kind()[0],
+    );
+    assert_run_parity(&sequential, &over, "shards=64 on population 40");
+}

@@ -6,50 +6,31 @@
 //! is the scheduler's complete observable output, so equal streams on the
 //! same deterministic environment mean the delta maintenance in
 //! `venn_core::venn` cannot have changed behavior — only cost.
+//!
+//! Built on the shared differential harness in `tests/common/parity.rs`.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+mod common;
 
-use venn::bench::{Experiment, SchedKind};
-use venn::core::{Scheduler, VennConfig, MINUTE_MS};
-use venn::sim::{AssignmentLog, QueueKind, SimConfig, SimResult, Simulation};
-use venn::traces::{JobDemandModel, Workload, WorkloadKind};
+use common::parity::{
+    assert_outcome_parity, assert_run_parity, contended_workload, every_sched_kind, observe,
+    observe_kind, SCHED_SEED_SALT,
+};
+
+use venn::bench::SchedKind;
+use venn::core::VennConfig;
+use venn::sim::{QueueKind, SimConfig};
 
 const SEEDS: [u64; 3] = [101, 102, 103];
 
 /// A small but contended experiment: enough churn to cross the periodic
 /// refresh interval and exercise steals, tiers, and re-submissions.
-fn experiment(seed: u64) -> Experiment {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
-    let workload = Workload::generate(
-        WorkloadKind::Even,
-        None,
-        6,
-        &JobDemandModel {
-            rounds_mean: 3.0,
-            rounds_max: 5,
-            demand_mean: 10.0,
-            demand_max: 20,
-            ..JobDemandModel::default()
-        },
-        10.0 * MINUTE_MS as f64,
-        &mut rng,
-    );
-    Experiment {
-        sim: SimConfig {
-            population: 400,
-            days: 2,
-            seed,
-            ..SimConfig::default()
-        },
-        workload,
+fn experiment(seed: u64) -> SimConfig {
+    SimConfig {
+        population: 400,
+        days: 2,
+        seed,
+        ..SimConfig::default()
     }
-}
-
-fn run_logged(exp: &Experiment, scheduler: &mut dyn Scheduler) -> (SimResult, AssignmentLog) {
-    let mut log = AssignmentLog::default();
-    let result = Simulation::new(exp.sim).run_observed(&exp.workload, scheduler, &mut [&mut log]);
-    (result, log)
 }
 
 /// The Venn configuration behind each Venn-flavoured `SchedKind`, if any.
@@ -63,70 +44,39 @@ fn venn_config_of(kind: SchedKind) -> Option<VennConfig> {
     }
 }
 
-fn every_sched_kind() -> Vec<SchedKind> {
-    vec![
-        SchedKind::Random,
-        SchedKind::Fifo,
-        SchedKind::Srsf,
-        SchedKind::Venn,
-        SchedKind::VennWoSched,
-        SchedKind::VennWoMatch,
-        SchedKind::VennWith(VennConfig::with_fairness(2.0)),
-        SchedKind::VennWith(VennConfig {
-            use_steal: false,
-            ..VennConfig::default()
-        }),
-    ]
-}
-
 #[test]
 fn incremental_equals_full_rebuild_for_every_sched_kind() {
     for &seed in &SEEDS {
-        let exp = experiment(seed);
+        let sim = experiment(seed);
+        let workload = contended_workload(seed);
         for kind in every_sched_kind() {
-            let (inc, full): ((SimResult, AssignmentLog), (SimResult, AssignmentLog)) =
-                match venn_config_of(kind) {
-                    Some(cfg) => {
-                        let sched_seed = exp.sim.seed ^ 0xA5A5;
-                        let mut a = venn::core::VennScheduler::new(VennConfig {
-                            incremental: true,
-                            seed: sched_seed,
-                            ..cfg
-                        });
-                        let mut b = venn::core::VennScheduler::new(VennConfig {
-                            incremental: false,
-                            seed: sched_seed,
-                            ..cfg
-                        });
-                        (run_logged(&exp, &mut a), run_logged(&exp, &mut b))
-                    }
-                    // Baselines have no rebuild machinery: parity degenerates
-                    // to determinism across two runs, asserted all the same so
-                    // the harness covers every `SchedKind`.
-                    None => {
-                        let mut a = kind.build(exp.sim.seed ^ 0xA5A5);
-                        let mut b = kind.build(exp.sim.seed ^ 0xA5A5);
-                        (run_logged(&exp, &mut *a), run_logged(&exp, &mut *b))
-                    }
-                };
-            let ((r_inc, log_inc), (r_full, log_full)) = (inc, full);
-            assert_eq!(
-                log_inc.assignments, log_full.assignments,
-                "{kind:?} seed {seed}: assignment streams diverged"
-            );
-            assert_eq!(
-                r_inc.records, r_full.records,
-                "{kind:?} seed {seed}: final JCT stats diverged"
-            );
-            assert_eq!(
-                r_inc.assignments, r_full.assignments,
-                "{kind:?} seed {seed}"
-            );
-            assert_eq!(
-                r_inc.aborted_rounds, r_full.aborted_rounds,
-                "{kind:?} seed {seed}"
-            );
-            assert_eq!(r_inc.events, r_full.events, "{kind:?} seed {seed}");
+            let (inc, full) = match venn_config_of(kind) {
+                Some(cfg) => {
+                    let sched_seed = sim.seed ^ SCHED_SEED_SALT;
+                    let mut a = venn::core::VennScheduler::new(VennConfig {
+                        incremental: true,
+                        seed: sched_seed,
+                        ..cfg
+                    });
+                    let mut b = venn::core::VennScheduler::new(VennConfig {
+                        incremental: false,
+                        seed: sched_seed,
+                        ..cfg
+                    });
+                    (
+                        observe(sim, &workload, &mut a),
+                        observe(sim, &workload, &mut b),
+                    )
+                }
+                // Baselines have no rebuild machinery: parity degenerates
+                // to determinism across two runs, asserted all the same so
+                // the harness covers every `SchedKind`.
+                None => (
+                    observe_kind(sim, &workload, kind),
+                    observe_kind(sim, &workload, kind),
+                ),
+            };
+            assert_run_parity(&inc, &full, &format!("{kind:?} seed {seed}"));
         }
     }
 }
@@ -139,46 +89,40 @@ fn incremental_equals_full_rebuild_for_every_sched_kind() {
 #[test]
 fn gating_and_queue_arms_are_behavior_identical_for_every_sched_kind() {
     for &seed in &SEEDS {
-        let exp = experiment(seed);
+        let sim = experiment(seed);
+        let workload = contended_workload(seed);
         for kind in every_sched_kind() {
-            let run_arm = |sim: SimConfig| {
-                let arm = Experiment {
-                    sim,
-                    workload: exp.workload.clone(),
-                };
-                let mut sched = kind.build(exp.sim.seed ^ 0xA5A5);
-                run_logged(&arm, &mut *sched)
-            };
-            let (r_def, log_def) = run_arm(exp.sim);
-            let (r_ungated, log_ungated) = run_arm(SimConfig {
-                demand_gating: false,
-                ..exp.sim
-            });
-            let (r_heap, log_heap) = run_arm(SimConfig {
-                queue: QueueKind::Heap,
-                ..exp.sim
-            });
-            for (label, r, log) in [
-                ("gating-off", &r_ungated, &log_ungated),
-                ("heap-queue", &r_heap, &log_heap),
-            ] {
-                assert_eq!(
-                    log_def.assignments, log.assignments,
-                    "{kind:?} seed {seed} vs {label}: assignment streams diverged"
-                );
-                assert_eq!(
-                    r_def.records, r.records,
-                    "{kind:?} seed {seed} vs {label}: JCT stats diverged"
-                );
-                assert_eq!(r_def.aborted_rounds, r.aborted_rounds, "{kind:?} {label}");
-                assert_eq!(r_def.assignments, r.assignments, "{kind:?} {label}");
-                assert_eq!(r_def.failures, r.failures, "{kind:?} {label}");
-            }
+            let def = observe_kind(sim, &workload, kind);
+            let ungated = observe_kind(
+                SimConfig {
+                    demand_gating: false,
+                    ..sim
+                },
+                &workload,
+                kind,
+            );
+            let heap = observe_kind(
+                SimConfig {
+                    queue: QueueKind::Heap,
+                    ..sim
+                },
+                &workload,
+                kind,
+            );
+            assert_outcome_parity(
+                &def,
+                &ungated,
+                &format!("{kind:?} seed {seed} vs gating-off"),
+            );
+            assert_outcome_parity(&def, &heap, &format!("{kind:?} seed {seed} vs heap-queue"));
             // Both default-config arms dispatch the same events; gating is
             // the only thing allowed to shrink the count.
-            assert_eq!(r_def.events, r_heap.events, "{kind:?} seed {seed}");
+            assert_eq!(
+                def.result.events, heap.result.events,
+                "{kind:?} seed {seed}"
+            );
             assert!(
-                r_def.events <= r_ungated.events,
+                def.result.events <= ungated.result.events,
                 "{kind:?} seed {seed}: gating may only remove events"
             );
         }
@@ -187,8 +131,9 @@ fn gating_and_queue_arms_are_behavior_identical_for_every_sched_kind() {
 
 #[test]
 fn full_rebuild_kind_reports_suffixed_name() {
-    let exp = experiment(SEEDS[0]);
+    let sim = experiment(SEEDS[0]);
+    let workload = contended_workload(SEEDS[0]);
     let mut sched = venn::core::VennScheduler::new(VennConfig::full_rebuild());
-    let (result, _) = run_logged(&exp, &mut sched);
-    assert_eq!(result.scheduler_name, "venn-full");
+    let run = observe(sim, &workload, &mut sched);
+    assert_eq!(run.result.scheduler_name, "venn-full");
 }
