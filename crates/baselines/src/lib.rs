@@ -29,7 +29,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use venn_core::{DeviceInfo, JobId, JobIdIndex, JobSlot, Request, Scheduler, SimTime, SlotMap};
+use venn_core::{
+    DeviceInfo, JobId, JobIdIndex, JobSlot, Request, Scheduler, SimTime, SlotMap, SnapError,
+    SnapReader, SnapWriter, Snapshot,
+};
 
 /// Scheduling policy of a [`BaselineScheduler`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +55,24 @@ struct Entry {
     submit_time: SimTime,
     /// Random priority drawn at submission (RandomOrder policy).
     lottery: u64,
+}
+
+impl Snapshot for Entry {
+    fn encode(&self, w: &mut SnapWriter) {
+        self.request.encode(w);
+        w.u32(self.pending);
+        w.u64(self.submit_time);
+        w.u64(self.lottery);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Entry {
+            request: Request::decode(r)?,
+            pending: r.u32()?,
+            submit_time: r.u64()?,
+            lottery: r.u64()?,
+        })
+    }
 }
 
 /// One engine implementing all three baseline policies.
@@ -234,6 +255,32 @@ impl Scheduler for BaselineScheduler {
         // default no-op body), so gated check-ins need no replay.
         false
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        // Name validates the policy arm on restore.
+        w.str(self.name);
+        self.entries.encode(w);
+        self.job_slots.encode(w);
+        w.seq(&self.active, |w, s| s.encode(w));
+        self.rng.encode(w);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let name = r.str()?;
+        if name != self.name {
+            return Err(SnapError::Corrupt(format!(
+                "scheduler mismatch: snapshot is {name:?}, this scheduler is {:?}",
+                self.name
+            )));
+        }
+        self.entries = SlotMap::decode(r)?;
+        self.job_slots = JobIdIndex::decode(r)?;
+        self.active = r.seq(JobSlot::decode)?;
+        self.rng = StdRng::decode(r)?;
+        self.candidates.clear();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -341,6 +388,60 @@ mod tests {
             s.submit(req(2, 1, 1), 0);
         }
         assert_eq!(a.assign(&dev(1), 1), b.assign(&dev(1), 1));
+    }
+
+    #[test]
+    fn snapshot_round_trip_continues_bit_identically() {
+        let builders: [fn() -> BaselineScheduler; 4] = [
+            || BaselineScheduler::random_order(11),
+            || BaselineScheduler::random_per_device(11),
+            BaselineScheduler::fifo,
+            BaselineScheduler::srsf,
+        ];
+        for build in builders {
+            let mut s = build();
+            for j in 0..5u64 {
+                s.submit(req(j, 3, 6 + j), j * 10);
+            }
+            for i in 0..7u64 {
+                s.assign(&dev(i), 100 + i);
+            }
+            s.withdraw(JobId::new(2), 200);
+
+            let mut w = SnapWriter::new();
+            s.save_state(&mut w).unwrap();
+            let bytes = w.into_bytes();
+            let mut restored = build();
+            let mut r = SnapReader::new(&bytes);
+            restored.load_state(&mut r).unwrap();
+            r.finish().unwrap();
+
+            for i in 0..30u64 {
+                let t = 300 + i * 5;
+                assert_eq!(s.assign(&dev(50 + i), t), restored.assign(&dev(50 + i), t));
+                if i % 7 == 0 {
+                    let j = JobId::new(i % 5);
+                    s.withdraw(j, t);
+                    restored.withdraw(j, t);
+                    s.submit(req(j.as_u64(), 2, 4), t);
+                    restored.submit(req(j.as_u64(), 2, 4), t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_policy() {
+        let s = BaselineScheduler::fifo();
+        let mut w = SnapWriter::new();
+        s.save_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut other = BaselineScheduler::srsf();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            other.load_state(&mut r),
+            Err(SnapError::Corrupt(_))
+        ));
     }
 
     #[test]

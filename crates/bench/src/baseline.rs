@@ -18,7 +18,7 @@ use venn_env::EnvPreset;
 use venn_sim::{ExecMode, QueueKind};
 use venn_traces::WorkloadKind;
 
-use crate::{run_matrix_sequential, Experiment, Matrix, MatrixRun, SchedKind};
+use crate::{run_matrix_sequential, Experiment, Matrix, MatrixCell, MatrixRun, SchedKind};
 
 /// The scheduler columns of the baseline, in file order: Table 1 plus the
 /// full-rebuild Venn reference arm.
@@ -61,6 +61,44 @@ pub fn run_baseline_exec(
         .kinds(&baseline_kinds())
         .seeds(&[seed]);
     (exp, run_matrix_sequential(&matrix))
+}
+
+/// [`run_baseline_exec`] with a crash injected into every cell: each run
+/// is snapshotted at its halfway point, the live world and scheduler are
+/// torn down, and the run finishes from the snapshot bytes in fresh
+/// state (see [`crate::run_crashed`]). `check_regression --crashed`
+/// replays the *committed* baseline through this path and still demands
+/// zero drift — recovery from a checkpoint is behaviorally invisible, so
+/// no field may move.
+pub fn run_baseline_crashed(
+    seed: u64,
+    queue: QueueKind,
+    demand_gating: bool,
+    env: EnvPreset,
+    exec: ExecMode,
+) -> (Experiment, Vec<MatrixRun>) {
+    let mut exp = Experiment::paper_default(WorkloadKind::Even, None, seed);
+    exp.sim.queue = queue;
+    exp.sim.demand_gating = demand_gating;
+    exp.sim.env = env.config();
+    exp.sim.exec = exec;
+    let runs = baseline_kinds()
+        .into_iter()
+        .map(|kind| {
+            let start = std::time::Instant::now();
+            let result = crate::run_crashed(&exp, kind);
+            MatrixRun {
+                cell: MatrixCell {
+                    scenario: "paper_default/even".into(),
+                    kind,
+                    seed,
+                },
+                result,
+                wall_ms: start.elapsed().as_millis() as u64,
+            }
+        })
+        .collect();
+    (exp, runs)
 }
 
 /// One scheduler row of the baseline, holding the deterministic fields in
@@ -474,6 +512,21 @@ mod tests {
         let (seed, rows) = parse_baseline(&json).unwrap();
         assert_eq!(seed, 3);
         assert_eq!(rows, baseline_rows(&runs));
+    }
+
+    #[test]
+    fn crashed_replay_matches_uninterrupted() {
+        use venn_traces::WorkloadKind;
+        let exp = Experiment::smoke(WorkloadKind::Even, 5);
+        for kind in [SchedKind::Venn, SchedKind::Srsf] {
+            let whole = crate::run(&exp, kind);
+            let crashed = crate::run_crashed(&exp, kind);
+            assert_eq!(whole.records, crashed.records, "{kind:?}");
+            assert_eq!(whole.events, crashed.events, "{kind:?}");
+            assert_eq!(whole.assignments, crashed.assignments, "{kind:?}");
+            assert_eq!(whole.aborted_rounds, crashed.aborted_rounds, "{kind:?}");
+            assert_eq!(whole.peak_queue_len, crashed.peak_queue_len, "{kind:?}");
+        }
     }
 
     #[test]

@@ -21,17 +21,27 @@
 //! drift — sharded execution is pinned bit-identical, so no re-baselined
 //! fields and no separate sharded baseline file exist.
 //!
+//! With `--crashed` every replayed cell is snapshotted at its halfway
+//! point, torn down, and resumed from the snapshot bytes before
+//! finishing — checkpoint recovery is pinned bit-identical the same way,
+//! so the committed baseline must reproduce with zero drift through a
+//! crash as well.
+//!
 //! Run: `cargo run --release -p venn-bench --bin check_regression
-//!       [--baseline PATH] [--shards N]`
+//!       [--baseline PATH] [--shards N] [--crashed]`
 
 use std::process::ExitCode;
 
-use venn_bench::{baseline_rows, diff_rows, parse_arm_header, parse_baseline, run_baseline_exec};
+use venn_bench::{
+    baseline_rows, diff_rows, parse_arm_header, parse_baseline, run_baseline_crashed,
+    run_baseline_exec,
+};
 use venn_sim::ExecMode;
 
 fn main() -> ExitCode {
     let mut path = "BENCH_BASELINE.json".to_string();
     let mut exec = ExecMode::Sequential;
+    let mut crashed_replay = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -49,9 +59,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--crashed" => crashed_replay = true,
             other => {
                 eprintln!("error: unknown flag {other:?}");
-                eprintln!("usage: check_regression [--baseline PATH] [--shards N]");
+                eprintln!("usage: check_regression [--baseline PATH] [--shards N] [--crashed]");
                 return ExitCode::FAILURE;
             }
         }
@@ -79,11 +90,20 @@ fn main() -> ExitCode {
     };
     eprintln!(
         "replaying baseline matrix (seed {seed}, {} schedulers, queue {queue:?}, \
-         gating {demand_gating}, env {}, exec {exec_label})…",
+         gating {demand_gating}, env {}, exec {exec_label}{})…",
         committed.len(),
-        env.label()
+        env.label(),
+        if crashed_replay {
+            ", crash+resume at halfway"
+        } else {
+            ""
+        }
     );
-    let (_, runs) = run_baseline_exec(seed, queue, demand_gating, env, exec);
+    let (_, runs) = if crashed_replay {
+        run_baseline_crashed(seed, queue, demand_gating, env, exec)
+    } else {
+        run_baseline_exec(seed, queue, demand_gating, env, exec)
+    };
     let fresh = baseline_rows(&runs);
 
     if committed.len() != fresh.len() {

@@ -145,7 +145,10 @@ fn main() {
 
     if let Some(path) = json_path {
         let json = baseline_json(&exp, &runs, seed, env, timing);
-        std::fs::write(&path, json).expect("write json baseline");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(1);
+        }
         eprintln!("wrote baseline to {path}");
     }
 }

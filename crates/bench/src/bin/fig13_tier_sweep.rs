@@ -13,9 +13,13 @@ use venn_traces::WorkloadKind;
 
 fn main() {
     let seeds: Vec<u64> = match std::env::args().nth(1) {
-        Some(n) => (0..n.parse::<u64>().expect("seed count"))
-            .map(|i| 950 + i)
-            .collect(),
+        Some(n) => match n.parse::<u64>() {
+            Ok(count) => (0..count).map(|i| 950 + i).collect(),
+            Err(e) => {
+                eprintln!("error: seed count {n:?}: {e}");
+                std::process::exit(2);
+            }
+        },
         None => vec![950, 951],
     };
     let mut table = Table::new(

@@ -46,9 +46,13 @@ fn uncontended_jct(exp: &Experiment) -> Vec<f64> {
 
 fn main() {
     let seeds: Vec<u64> = match std::env::args().nth(1) {
-        Some(n) => (0..n.parse::<u64>().expect("seed count"))
-            .map(|i| 980 + i)
-            .collect(),
+        Some(n) => match n.parse::<u64>() {
+            Ok(count) => (0..count).map(|i| 980 + i).collect(),
+            Err(e) => {
+                eprintln!("error: seed count {n:?}: {e}");
+                std::process::exit(2);
+            }
+        },
         None => vec![980],
     };
     let mut table = Table::new(

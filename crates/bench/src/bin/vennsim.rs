@@ -15,10 +15,21 @@
 //!           [--pop eager|split-eager|lazy]
 //!           [--env off|flash-crowd|straggler-heavy|mass-dropout|chaos]
 //!           [--load FILE.tsv] [--save FILE.tsv] [--csv]
+//!           [--checkpoint-every SIM_MS] [--checkpoint-dir DIR] [--resume]
 //! ```
 //!
 //! `--shards N` runs the sharded execution engine with `N` lock-step
 //! shards; results are bit-identical to the default sequential engine.
+//!
+//! `--checkpoint-every SIM_MS` writes a durable snapshot of the full run
+//! state to `--checkpoint-dir` every `SIM_MS` of simulated time (the two
+//! newest checkpoints are retained). `--resume` picks up from the newest
+//! usable checkpoint in the directory — a corrupt or truncated file is
+//! skipped with a warning and the previous one is tried — and the
+//! resumed run's output is byte-identical to an uninterrupted run with
+//! the same parameters. Checkpoints only restore under the same
+//! `(seed, population, days, workload, scheduler, env, pop)` run
+//! identity; `--queue`, `--shards`, and the exec mode may differ.
 //!
 //! Run: `cargo run --release -p venn-bench --bin vennsim -- --jobs 12 --days 5`
 
@@ -31,7 +42,7 @@ use venn_baselines::BaselineScheduler;
 use venn_core::{Scheduler, VennConfig, VennScheduler, MINUTE_MS};
 use venn_env::EnvPreset;
 use venn_metrics::csv::Csv;
-use venn_sim::{ExecMode, PopMode, QueueKind, SimConfig, Simulation};
+use venn_sim::{ExecMode, PopMode, QueueKind, SimConfig, SimResult, Simulation, World};
 use venn_traces::{io as wio, BiasKind, JobDemandModel, Workload, WorkloadKind};
 
 #[derive(Debug)]
@@ -55,6 +66,9 @@ struct Args {
     load: Option<String>,
     save: Option<String>,
     csv: bool,
+    checkpoint_every: Option<u64>,
+    checkpoint_dir: Option<String>,
+    resume: bool,
 }
 
 impl Default for Args {
@@ -79,6 +93,9 @@ impl Default for Args {
             load: None,
             save: None,
             csv: false,
+            checkpoint_every: None,
+            checkpoint_dir: None,
+            resume: false,
         }
     }
 }
@@ -178,11 +195,25 @@ fn parse_args() -> Result<Args, String> {
             "--load" => args.load = Some(value("--load")?),
             "--save" => args.save = Some(value("--save")?),
             "--csv" => args.csv = true,
+            "--checkpoint-every" => {
+                let every: u64 = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-every: {e}"))?;
+                if every == 0 {
+                    return Err("--checkpoint-every must be at least 1 ms".into());
+                }
+                args.checkpoint_every = Some(every);
+            }
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--resume" => args.resume = true,
             "--help" | "-h" => {
                 return Err("help".into());
             }
             other => return Err(format!("unknown flag {other:?}")),
         }
+    }
+    if (args.checkpoint_every.is_some() || args.resume) && args.checkpoint_dir.is_none() {
+        return Err("--checkpoint-every/--resume require --checkpoint-dir".into());
     }
     Ok(args)
 }
@@ -201,6 +232,131 @@ fn build_scheduler(args: &Args) -> Result<Box<dyn Scheduler>, String> {
         "srsf" => Box::new(BaselineScheduler::srsf()),
         other => return Err(format!("unknown scheduler {other:?}")),
     })
+}
+
+/// Checkpoints retained on disk: the newest, plus one fallback in case
+/// the newest is damaged (e.g. a torn write on a dying filesystem).
+const CHECKPOINTS_KEPT: usize = 2;
+
+/// Checkpoint files in `dir` as `(sim_time_ms, path)`, unsorted.
+fn list_checkpoints(dir: &str) -> Result<Vec<(u64, std::path::PathBuf)>, String> {
+    let mut out = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{dir}: {e}"))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stamp) = name
+            .strip_prefix("ckpt-")
+            .and_then(|rest| rest.strip_suffix(".vsnp"))
+        else {
+            continue;
+        };
+        if let Ok(time) = stamp.parse::<u64>() {
+            out.push((time, entry.path()));
+        }
+    }
+    Ok(out)
+}
+
+/// Atomically writes one checkpoint (tmp + rename, so a crash mid-write
+/// never leaves a half-written file under the checkpoint name) and prunes
+/// all but the newest [`CHECKPOINTS_KEPT`].
+fn write_checkpoint(dir: &str, world: &World<'_>, scheduler: &dyn Scheduler) -> Result<(), String> {
+    let bytes =
+        venn_sim::snapshot_world(world, scheduler).map_err(|e| format!("checkpoint: {e}"))?;
+    let path = format!("{dir}/ckpt-{:016}.vsnp", world.now());
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, &bytes).map_err(|e| format!("{tmp}: {e}"))?;
+    std::fs::rename(&tmp, &path).map_err(|e| format!("{path}: {e}"))?;
+    let mut ckpts = list_checkpoints(dir)?;
+    ckpts.sort();
+    for (_, stale) in ckpts.iter().rev().skip(CHECKPOINTS_KEPT) {
+        let _ = std::fs::remove_file(stale);
+    }
+    Ok(())
+}
+
+/// A run's live state: the world plus the scheduler driving it.
+type LiveRun<'w> = (World<'w>, Box<dyn Scheduler>);
+
+/// Resumes from the newest usable checkpoint in `dir`, degrading
+/// gracefully: an unreadable, truncated, corrupt, or mismatched-run file
+/// is reported and the next-newest tried. Returns `None` (fresh start)
+/// when no checkpoint survives triage.
+fn resume_from_dir<'w>(
+    args: &Args,
+    dir: &str,
+    config: SimConfig,
+    workload: &'w Workload,
+) -> Result<Option<LiveRun<'w>>, String> {
+    let mut ckpts = list_checkpoints(dir)?;
+    ckpts.sort();
+    for (time, path) in ckpts.iter().rev() {
+        let bytes = match std::fs::read(path) {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                eprintln!("warning: skipping checkpoint {}: {e}", path.display());
+                continue;
+            }
+        };
+        // A fresh scheduler per attempt: a failed load may leave one
+        // partially overwritten.
+        let mut scheduler = build_scheduler(args)?;
+        match venn_sim::resume_world(&bytes, config, workload, &mut *scheduler) {
+            Ok(world) => {
+                eprintln!(
+                    "resumed from {} (sim time {:.1} h, {} events in)",
+                    path.display(),
+                    *time as f64 / 3_600_000.0,
+                    world.events_processed()
+                );
+                return Ok(Some((world, scheduler)));
+            }
+            Err(e) => {
+                eprintln!("warning: checkpoint {} unusable: {e}", path.display());
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// The checkpoint-aware run loop: identical results to
+/// [`Simulation::run`] (snapshots are pure reads of the world between
+/// event dispatches), plus periodic durable snapshots and/or resume.
+fn run_checkpointed(
+    args: &Args,
+    dir: &str,
+    config: SimConfig,
+    workload: &Workload,
+) -> Result<SimResult, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let (mut world, mut scheduler) = match args.resume {
+        true => match resume_from_dir(args, dir, config, workload)? {
+            Some(resumed) => resumed,
+            None => {
+                eprintln!("no usable checkpoint in {dir}; starting fresh");
+                let scheduler = build_scheduler(args)?;
+                (World::new(config, workload, scheduler.name()), scheduler)
+            }
+        },
+        false => {
+            let scheduler = build_scheduler(args)?;
+            (World::new(config, workload, scheduler.name()), scheduler)
+        }
+    };
+    let mut next_checkpoint = args
+        .checkpoint_every
+        .map(|every| world.now().saturating_add(every));
+    while world.step(&mut *scheduler, &mut []) {
+        if let (Some(every), Some(at)) = (args.checkpoint_every, next_checkpoint) {
+            if world.now() >= at {
+                write_checkpoint(dir, &world, &*scheduler)?;
+                next_checkpoint = Some(world.now().saturating_add(every));
+            }
+        }
+    }
+    Ok(world.finish(&mut []))
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -239,8 +395,13 @@ fn run(args: &Args) -> Result<(), String> {
         env: args.env.config(),
         ..SimConfig::default()
     };
-    let mut scheduler = build_scheduler(args)?;
-    let result = Simulation::new(config).run(&workload, &mut *scheduler);
+    let result = match &args.checkpoint_dir {
+        Some(dir) => run_checkpointed(args, dir, config, &workload)?,
+        None => {
+            let mut scheduler = build_scheduler(args)?;
+            Simulation::new(config).run(&workload, &mut *scheduler)
+        }
+    };
     let b = result.breakdown();
 
     if args.csv {
@@ -310,7 +471,8 @@ fn main() -> ExitCode {
                  [--async] [--overcommit F] [--queue wheel|heap] [--no-gating] [--shards N] \
                  [--pop eager|split-eager|lazy] \
                  [--env off|flash-crowd|straggler-heavy|mass-dropout|chaos] \
-                 [--load FILE.tsv] [--save FILE.tsv] [--csv]"
+                 [--load FILE.tsv] [--save FILE.tsv] [--csv] \
+                 [--checkpoint-every SIM_MS] [--checkpoint-dir DIR] [--resume]"
             );
             if e == "help" {
                 ExitCode::SUCCESS

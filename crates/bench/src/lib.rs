@@ -18,7 +18,7 @@ pub mod scale;
 
 pub use baseline::{
     baseline_json, baseline_kinds, baseline_rows, diff_rows, parse_arm_header, parse_baseline,
-    run_baseline, run_baseline_exec, BaselineRow,
+    run_baseline, run_baseline_crashed, run_baseline_exec, BaselineRow,
 };
 pub use matrix::{
     run_matrix, run_matrix_sequential, speedup_summary, with_baseline, Matrix, MatrixCell,
@@ -33,8 +33,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use venn_baselines::BaselineScheduler;
-use venn_core::{Scheduler, VennConfig, VennScheduler, MINUTE_MS};
-use venn_sim::{SimConfig, SimResult, Simulation};
+use venn_core::{Scheduler, VennConfig, VennScheduler, DAY_MS, MINUTE_MS};
+use venn_sim::{SimConfig, SimResult, Simulation, World};
 use venn_traces::{BiasKind, JobDemandModel, ScenarioPreset, Workload, WorkloadKind};
 
 /// Every scheduler the evaluation compares.
@@ -191,6 +191,48 @@ impl Experiment {
 pub fn run(experiment: &Experiment, kind: SchedKind) -> SimResult {
     let mut scheduler = kind.build(experiment.sim.seed ^ 0xA5A5);
     Simulation::new(experiment.sim).run(&experiment.workload, &mut *scheduler)
+}
+
+/// [`run`] with a crash injected at the experiment's halfway point
+/// (simulated time): the live world and scheduler are snapshotted, torn
+/// down, and rebuilt from the snapshot bytes before the run finishes.
+/// Checkpoint recovery is bit-invisible, so the result must equal
+/// [`run`]'s byte for byte — `check_regression --crashed` replays the
+/// committed baseline through this path and demands zero drift.
+///
+/// # Panics
+///
+/// Panics if the snapshot cannot be taken or restored — in a
+/// deterministic in-process round trip either is a bug, not an I/O
+/// hazard.
+pub fn run_crashed(experiment: &Experiment, kind: SchedKind) -> SimResult {
+    let halfway = u64::from(experiment.sim.days) * DAY_MS / 2;
+    let mut scheduler = kind.build(experiment.sim.seed ^ 0xA5A5);
+    let mut world = World::new(experiment.sim, &experiment.workload, scheduler.name());
+    let mut crashed = false;
+    while world.step(&mut *scheduler, &mut []) {
+        if world.now() >= halfway {
+            crashed = true;
+            break;
+        }
+    }
+    if !crashed {
+        // The run dried up before its halfway point: nothing to crash.
+        return world.finish(&mut []);
+    }
+    let bytes = venn_sim::snapshot_world(&world, &*scheduler).expect("snapshot at crash point");
+    drop(world);
+    drop(scheduler);
+    let mut scheduler = kind.build(experiment.sim.seed ^ 0xA5A5);
+    let mut world = venn_sim::resume_world(
+        &bytes,
+        experiment.sim,
+        &experiment.workload,
+        &mut *scheduler,
+    )
+    .expect("resume from snapshot");
+    while world.step(&mut *scheduler, &mut []) {}
+    world.finish(&mut [])
 }
 
 /// Average-JCT speed-up of each scheduler over [`SchedKind::Random`] on the

@@ -25,6 +25,7 @@
 //! arrival/completion ([`allocate_into`] with an [`IrsScratch`]) allocates
 //! nothing in steady state.
 
+use crate::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::supply::RegionSupply;
 
 /// Scheduling-relevant summary of one resource-homogeneous job group.
@@ -91,6 +92,28 @@ impl AllocationPlan {
                 .copied()
                 .filter(move |&g| mask & (1u128 << g) != 0 && Some(g) != owner),
         )
+    }
+}
+
+impl Snapshot for AllocationPlan {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.seq(&self.region_masks, |w, &m| w.u128(m));
+        w.seq(&self.region_owners, |w, &o| w.u32(o));
+        w.seq(&self.fallback_order, |w, &g| w.usize(g));
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let region_masks = r.seq(|r| r.u128())?;
+        let region_owners = r.seq(|r| r.u32())?;
+        let fallback_order = r.seq(|r| r.usize())?;
+        if region_masks.len() != region_owners.len() {
+            return Err(SnapError::Corrupt("plan owner table mismatch".into()));
+        }
+        Ok(AllocationPlan {
+            region_masks,
+            region_owners,
+            fallback_order,
+        })
     }
 }
 

@@ -49,6 +49,7 @@ pub mod request;
 pub mod resource;
 pub mod scheduler;
 pub mod slotmap;
+pub mod snapshot;
 pub mod supply;
 pub mod venn;
 
@@ -60,6 +61,7 @@ pub use request::Request;
 pub use resource::{Capacity, CategoryThresholds, ResourceSpec, SpecCategory};
 pub use scheduler::{CheckInRecord, Scheduler};
 pub use slotmap::{JobIdIndex, JobSlot, SlotMap};
+pub use snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 pub use supply::SupplyEstimator;
 pub use venn::VennScheduler;
 

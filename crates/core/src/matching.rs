@@ -23,6 +23,8 @@
 //! the paper's Venn likewise profiles a job's earlier rounds before tiering
 //! it.
 
+use crate::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
+
 /// Per-job profile of participant capacities and response behaviour.
 ///
 /// Sample buffers are bounded (ring semantics) so long-running jobs adapt to
@@ -264,6 +266,48 @@ impl TierProfiler {
         // A job that has never waited still pays at least one scheduling
         // quantum; floor the denominator so c stays finite.
         Some(resp / sched.max(1.0))
+    }
+}
+
+/// The snapshot carries the sample rings and their cursors — the learned
+/// profile and its exact overwrite schedule — and restores the scratch
+/// buffers empty (they are filled from scratch by every decision).
+impl Snapshot for TierProfiler {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.seq(&self.scores, |w, &s| w.f64(s));
+        w.seq(&self.responses, |w, &(s, t)| {
+            w.f64(s);
+            w.f64(t);
+        });
+        w.seq(&self.sched_delays, |w, &d| w.f64(d));
+        w.usize(self.cap);
+        w.usize(self.cursor_scores);
+        w.usize(self.cursor_resp);
+        w.usize(self.cursor_delay);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let scores = r.seq(|r| r.f64())?;
+        let responses = r.seq(|r| Ok((r.f64()?, r.f64()?)))?;
+        let sched_delays = r.seq(|r| r.f64())?;
+        let cap = r.usize()?;
+        if cap == 0 {
+            return Err(SnapError::Corrupt("zero profiler capacity".into()));
+        }
+        if scores.len() > cap || responses.len() > cap || sched_delays.len() > cap {
+            return Err(SnapError::Corrupt("profiler ring exceeds capacity".into()));
+        }
+        let mut p = TierProfiler::with_capacity(cap);
+        p.scores = scores;
+        p.responses = responses;
+        p.sched_delays = sched_delays;
+        p.cursor_scores = r.usize()?;
+        p.cursor_resp = r.usize()?;
+        p.cursor_delay = r.usize()?;
+        if p.cursor_scores >= cap || p.cursor_resp >= cap || p.cursor_delay >= cap {
+            return Err(SnapError::Corrupt("profiler cursor out of range".into()));
+        }
+        Ok(p)
     }
 }
 

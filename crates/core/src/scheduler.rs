@@ -1,5 +1,6 @@
 //! The scheduler interface shared by Venn and every baseline.
 
+use crate::snapshot::{SnapError, SnapReader, SnapWriter};
 use crate::{DeviceInfo, JobId, Request, SimTime};
 
 /// One suppressed check-in replayed in batch: the device view the
@@ -153,6 +154,26 @@ pub trait Scheduler {
         for r in batch {
             self.on_check_in(&r.device, r.time);
         }
+    }
+
+    /// Appends the scheduler's full mutable state to `w` so a checkpoint
+    /// can resume it mid-run. A restored scheduler must continue the run
+    /// bit-identically — RNG stream positions, queue orders, and learned
+    /// profiles included.
+    ///
+    /// The default reports [`SnapError::Unsupported`]; every shipped
+    /// scheduler overrides it.
+    fn save_state(&self, _w: &mut SnapWriter) -> Result<(), SnapError> {
+        Err(SnapError::Unsupported("this scheduler"))
+    }
+
+    /// Restores state written by [`save_state`](Scheduler::save_state)
+    /// into a freshly constructed scheduler of the same configuration.
+    ///
+    /// The default reports [`SnapError::Unsupported`]; every shipped
+    /// scheduler overrides it.
+    fn load_state(&mut self, _r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        Err(SnapError::Unsupported("this scheduler"))
     }
 }
 

@@ -15,6 +15,7 @@
 
 use std::fmt;
 
+use crate::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::JobId;
 
 /// Reference to one live entry of a [`SlotMap`]: array index + generation.
@@ -281,6 +282,87 @@ impl JobIdIndex {
         if let Some(s) = self.slots.get_mut(job.as_u64() as usize) {
             *s = JobSlot::NULL;
         }
+    }
+}
+
+impl Snapshot for JobSlot {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.u32(self.index);
+        w.u32(self.generation);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(JobSlot {
+            index: r.u32()?,
+            generation: r.u32()?,
+        })
+    }
+}
+
+/// The snapshot preserves the *exact* internal layout — entry order,
+/// free-list chain, generations — not just the live values, because
+/// outstanding [`JobSlot`] handles elsewhere in a snapshot are raw
+/// `(index, generation)` pairs and must keep resolving identically, and
+/// future `insert`s must reuse slots in the same LIFO order.
+impl<T: Snapshot> Snapshot for SlotMap<T> {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.len_prefix(self.entries.len());
+        for e in &self.entries {
+            match e {
+                Entry::Occupied(v) => {
+                    w.u8(1);
+                    v.encode(w);
+                }
+                Entry::Vacant(next) => {
+                    w.u8(0);
+                    w.u32(*next);
+                }
+            }
+        }
+        w.seq(&self.generations, |w, &g| w.u32(g));
+        w.u32(self.free_head);
+        w.usize(self.len);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.len_prefix()?;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(match r.u8()? {
+                1 => Entry::Occupied(T::decode(r)?),
+                0 => Entry::Vacant(r.u32()?),
+                tag => return Err(SnapError::Corrupt(format!("slot entry tag {tag}"))),
+            });
+        }
+        let generations = r.seq(|r| r.u32())?;
+        if generations.len() != entries.len() {
+            return Err(SnapError::Corrupt(
+                "slot map generations/entries length mismatch".into(),
+            ));
+        }
+        let free_head = r.u32()?;
+        let len = r.usize()?;
+        if len > entries.len() {
+            return Err(SnapError::Corrupt("slot map live count too large".into()));
+        }
+        Ok(SlotMap {
+            entries,
+            generations,
+            free_head,
+            len,
+        })
+    }
+}
+
+impl Snapshot for JobIdIndex {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.seq(&self.slots, |w, s| s.encode(w));
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(JobIdIndex {
+            slots: r.seq(JobSlot::decode)?,
+        })
     }
 }
 

@@ -14,6 +14,7 @@
 
 use std::collections::VecDeque;
 
+use crate::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::{Capacity, ResourceSpec, SimTime, DAY_MS};
 
 /// Number of grid cells per axis. 64×64 keeps quantization error below the
@@ -447,6 +448,59 @@ impl SupplyEstimator {
             }
         }
         mask
+    }
+}
+
+/// The snapshot dumps every field verbatim — including the lazily
+/// maintained count table and its freshness flag — so a restored
+/// estimator continues pruning, refreshing, and splitting regions on
+/// exactly the schedule the snapshotted one would have.
+impl Snapshot for SupplyEstimator {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.u64(self.window_ms);
+        w.seq(&self.counts, |w, &c| w.u32(c));
+        w.bool(self.counts_fresh);
+        w.len_prefix(self.queue.len());
+        for &word in &self.queue {
+            w.u64(word);
+        }
+        w.seq(&self.specs, |w, s| s.encode(w));
+        w.seq(&self.cell_slot, |w, &s| w.u32(s));
+        w.seq(&self.slot_masks, |w, &m| w.u128(m));
+        w.seq(&self.slot_counts, |w, &c| w.u64(c));
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let window_ms = r.u64()?;
+        if window_ms == 0 {
+            return Err(SnapError::Corrupt("zero supply window".into()));
+        }
+        let counts = r.seq(|r| r.u32())?;
+        let counts_fresh = r.bool()?;
+        let queue: VecDeque<u64> = r.seq(|r| r.u64())?.into();
+        let specs = r.seq(ResourceSpec::decode)?;
+        let cell_slot = r.seq(|r| r.u32())?;
+        let slot_masks = r.seq(|r| r.u128())?;
+        let slot_counts = r.seq(|r| r.u64())?;
+        if counts.len() != GRID * GRID || cell_slot.len() != GRID * GRID {
+            return Err(SnapError::Corrupt("supply grid size mismatch".into()));
+        }
+        if slot_masks.len() != slot_counts.len() {
+            return Err(SnapError::Corrupt("supply slot table mismatch".into()));
+        }
+        if cell_slot.iter().any(|&s| s as usize >= slot_masks.len()) {
+            return Err(SnapError::Corrupt("supply cell slot out of range".into()));
+        }
+        Ok(SupplyEstimator {
+            window_ms,
+            counts,
+            counts_fresh,
+            queue,
+            specs,
+            cell_slot,
+            slot_masks,
+            slot_counts,
+        })
     }
 }
 

@@ -44,6 +44,7 @@ use crate::intern::SpecInterner;
 use crate::irs::{self, AllocationPlan, GroupSummary, IrsScratch};
 use crate::matching::{decide_tier, TierProfiler, TierRange};
 use crate::slotmap::{JobIdIndex, JobSlot, SlotMap};
+use crate::snapshot::{SnapError, SnapReader, SnapWriter, Snapshot};
 use crate::supply::RegionSupply;
 use crate::{
     CheckInRecord, DeviceInfo, GroupId, JobId, Request, ResourceSpec, Scheduler, SimTime,
@@ -90,6 +91,43 @@ impl JobEntry {
     /// rounds), which is what lets most assignments skip re-sorting.
     fn remaining_key(&self) -> u64 {
         self.total_remaining.max(self.pending as u64)
+    }
+}
+
+impl Snapshot for JobEntry {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.u64(self.job.as_u64());
+        w.u64(self.group.as_u64());
+        w.u32(self.pending);
+        w.u32(self.demand);
+        w.u64(self.total_remaining);
+        w.bool(self.active);
+        w.u64(self.submit_time);
+        w.u32(self.allocs_done);
+        w.f64(self.rounds_est);
+        w.f64(self.uncontended_jct_ms);
+        self.profiler.encode(w);
+        w.option(&self.tier, |w, &(lo, hi)| {
+            w.f64(lo);
+            w.f64(hi);
+        });
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(JobEntry {
+            job: JobId::new(r.u64()?),
+            group: GroupId::new(r.u64()?),
+            pending: r.u32()?,
+            demand: r.u32()?,
+            total_remaining: r.u64()?,
+            active: r.bool()?,
+            submit_time: r.u64()?,
+            allocs_done: r.u32()?,
+            rounds_est: r.f64()?,
+            uncontended_jct_ms: r.f64()?,
+            profiler: TierProfiler::decode(r)?,
+            tier: r.option(|r| Ok((r.f64()?, r.f64()?)))?,
+        })
     }
 }
 
@@ -712,6 +750,78 @@ impl Scheduler for VennScheduler {
             self.supply.record(r.time, r.device.capacity());
         }
     }
+
+    fn save_state(&self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        // The name doubles as an arm fingerprint: it encodes
+        // (use_irs, use_matching, incremental), so a snapshot loaded into a
+        // differently-ablated scheduler fails cleanly instead of drifting.
+        w.str(&self.name);
+        self.supply.encode(w);
+        self.jobs.encode(w);
+        self.job_slots.encode(w);
+        w.seq(self.interner.specs(), |w, s| s.encode(w));
+        self.plan.encode(w);
+        w.seq(&self.members, |w, group| {
+            w.seq(group, |w, s| s.encode(w));
+        });
+        w.seq(&self.group_order, |w, group| {
+            w.seq(group, |w, s| s.encode(w));
+        });
+        w.seq(&self.queue_len, |w, &q| w.f64(q));
+        w.seq(&self.dirty, |w, &d| w.bool(d));
+        w.seq(&self.fifo_order, |w, s| s.encode(w));
+        w.usize(self.active_count);
+        w.u64(self.last_rebuild);
+        self.rng.encode(w);
+        w.u64(self.stats.considered);
+        w.u64(self.stats.fired);
+        w.u64(self.stats.not_ready);
+        w.f64(self.stats.cost_ratio_sum);
+        Ok(())
+    }
+
+    fn load_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let name = r.str()?;
+        if name != self.name {
+            return Err(SnapError::Corrupt(format!(
+                "scheduler mismatch: snapshot is {name:?}, this scheduler is {:?}",
+                self.name
+            )));
+        }
+        self.supply = SupplyEstimator::decode(r)?;
+        self.jobs = SlotMap::decode(r)?;
+        self.job_slots = JobIdIndex::decode(r)?;
+        let specs = r.seq(ResourceSpec::decode)?;
+        // Re-intern in recorded order so every GroupId resolves to the same
+        // spec; the supply estimator's registered bits were restored above.
+        self.interner = SpecInterner::new();
+        for spec in &specs {
+            self.interner.intern(*spec);
+        }
+        self.plan = AllocationPlan::decode(r)?;
+        self.members = r.seq(|r| r.seq(JobSlot::decode))?;
+        self.group_order = r.seq(|r| r.seq(JobSlot::decode))?;
+        self.queue_len = r.seq(|r| r.f64())?;
+        self.dirty = r.seq(|r| r.bool())?;
+        if self.members.len() != specs.len()
+            || self.group_order.len() != specs.len()
+            || self.queue_len.len() != specs.len()
+            || self.dirty.len() != specs.len()
+        {
+            return Err(SnapError::Corrupt("per-group table size mismatch".into()));
+        }
+        self.fifo_order = r.seq(JobSlot::decode)?;
+        self.active_count = r.usize()?;
+        self.last_rebuild = r.u64()?;
+        self.rng = StdRng::decode(r)?;
+        self.stats = MatchingStats {
+            considered: r.u64()?,
+            fired: r.u64()?,
+            not_ready: r.u64()?,
+            cost_ratio_sum: r.f64()?,
+        };
+        Ok(())
+    }
 }
 #[cfg(test)]
 mod tests {
@@ -978,6 +1088,80 @@ mod tests {
             use_steal: false,
             ..VennConfig::default()
         });
+    }
+
+    #[test]
+    fn snapshot_round_trip_continues_bit_identically() {
+        for base in [
+            VennConfig::default(),
+            VennConfig::with_fairness(2.0),
+            VennConfig::matching_only(),
+        ] {
+            let mut s = VennScheduler::new(base);
+            feed_supply(&mut s, 0);
+            for j in 0..6u64 {
+                let spec = if j % 2 == 0 {
+                    ResourceSpec::any()
+                } else {
+                    ResourceSpec::new(0.5, 0.5)
+                };
+                s.submit(Request::new(JobId::new(j), spec, 2, 6), j * 100);
+            }
+            for i in 0..40u64 {
+                let d = dev(
+                    100 + i,
+                    (i % 10) as f64 / 10.0,
+                    ((i * 3) % 10) as f64 / 10.0,
+                );
+                s.on_check_in(&d, 1_000 + i * 500);
+                if let Some(job) = s.assign(&d, 1_000 + i * 500) {
+                    s.on_response(job, &d, 2_000, 1_000 + i * 500);
+                }
+            }
+
+            let mut w = SnapWriter::new();
+            s.save_state(&mut w).unwrap();
+            let bytes = w.into_bytes();
+            let mut restored = VennScheduler::new(base);
+            let mut r = SnapReader::new(&bytes);
+            restored.load_state(&mut r).unwrap();
+            r.finish().unwrap();
+
+            // Identical continuation: every decision matches from here on.
+            for i in 0..80u64 {
+                let t = 30_000 + i * 700;
+                let d = dev(
+                    500 + i,
+                    ((i * 7) % 10) as f64 / 10.0,
+                    (i % 10) as f64 / 10.0,
+                );
+                s.on_check_in(&d, t);
+                restored.on_check_in(&d, t);
+                assert_eq!(s.assign(&d, t), restored.assign(&d, t), "step {i}");
+                if i % 9 == 0 {
+                    let j = JobId::new(i % 6);
+                    s.withdraw(j, t);
+                    restored.withdraw(j, t);
+                    s.submit(Request::new(j, ResourceSpec::any(), 2, 4), t);
+                    restored.submit(Request::new(j, ResourceSpec::any(), 2, 4), t);
+                }
+            }
+            assert_eq!(s.matching_stats(), restored.matching_stats());
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_wrong_scheduler_arm() {
+        let s = VennScheduler::new(VennConfig::default());
+        let mut w = SnapWriter::new();
+        s.save_state(&mut w).unwrap();
+        let bytes = w.into_bytes();
+        let mut other = VennScheduler::new(VennConfig::matching_only());
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            other.load_state(&mut r),
+            Err(SnapError::Corrupt(_))
+        ));
     }
 
     #[test]

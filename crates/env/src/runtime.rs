@@ -302,6 +302,26 @@ impl EnvRuntime {
     pub fn storm_hits(&mut self, prob: f64) -> bool {
         self.fault_rng.gen::<f64>() < prob
     }
+
+    /// The raw states of the three runtime streams `(churn, fault,
+    /// drop)` — the only parts of a compiled environment that advance
+    /// during a run. Snapshots store these and re-derive everything else
+    /// by recompiling the config.
+    pub fn rng_states(&self) -> ([u64; 4], [u64; 4], [u64; 4]) {
+        (
+            self.churn_rng.state(),
+            self.fault_rng.state(),
+            self.drop_rng.state(),
+        )
+    }
+
+    /// Overwrites the three runtime stream states (snapshot restore into
+    /// a freshly recompiled environment).
+    pub fn restore_rng_states(&mut self, churn: [u64; 4], fault: [u64; 4], drop: [u64; 4]) {
+        self.churn_rng = StdRng::from_state(churn);
+        self.fault_rng = StdRng::from_state(fault);
+        self.drop_rng = StdRng::from_state(drop);
+    }
 }
 
 #[cfg(test)]

@@ -41,6 +41,22 @@ impl Histogram {
         }
     }
 
+    /// Rebuilds a histogram from its raw parts (snapshot restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same invalid-shape conditions as [`Histogram::new`].
+    pub fn from_parts(lo: f64, hi: f64, counts: Vec<u64>) -> Self {
+        assert!(!counts.is_empty(), "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Histogram { lo, hi, counts }
+    }
+
+    /// The `(lo, hi)` value range the bins cover.
+    pub fn bounds(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
     /// Records one value, clamping to the histogram range.
     pub fn record(&mut self, value: f64) {
         let bins = self.counts.len();

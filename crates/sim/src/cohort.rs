@@ -36,7 +36,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use venn_core::SimTime;
+use venn_core::{SimTime, SnapError, SnapReader, SnapWriter};
 use venn_env::EnvRuntime;
 use venn_traces::AvailabilityModel;
 
@@ -202,6 +202,66 @@ impl CohortSet {
             self.heaps[cohort].push(Reverse((start, device as u32, end.min(self.horizon))));
             return;
         }
+    }
+
+    /// Encodes the mutable stream state: every device's cursor and every
+    /// cohort heap's pending entries (sorted — the heap's internal layout
+    /// is an implementation detail; only the multiset matters). The
+    /// model, seed, days, horizon, and cohort size are re-derived by
+    /// world reconstruction.
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        w.len_prefix(self.cursors.len());
+        for c in &self.cursors {
+            w.u32(c.day);
+            w.u8(c.idx);
+        }
+        w.len_prefix(self.heaps.len());
+        for heap in &self.heaps {
+            let mut entries: Vec<(SimTime, u32, SimTime)> =
+                heap.iter().map(|&Reverse(e)| e).collect();
+            entries.sort_unstable();
+            w.len_prefix(entries.len());
+            for (start, device, end) in &entries {
+                w.u64(*start);
+                w.u32(*device);
+                w.u64(*end);
+            }
+        }
+    }
+
+    /// Restores cursors and heaps into a freshly constructed set of the
+    /// same population and cohort size.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let n = r.len_prefix()?;
+        if n != self.cursors.len() {
+            return Err(SnapError::Corrupt(format!(
+                "cohort cursors {} != snapshot {n}",
+                self.cursors.len()
+            )));
+        }
+        for c in self.cursors.iter_mut() {
+            c.day = r.u32()?;
+            c.idx = r.u8()?;
+        }
+        let cohorts = r.len_prefix()?;
+        if cohorts != self.heaps.len() {
+            return Err(SnapError::Corrupt(format!(
+                "cohort count {} != snapshot {cohorts}",
+                self.heaps.len()
+            )));
+        }
+        for heap in self.heaps.iter_mut() {
+            heap.clear();
+            let entries = r.len_prefix()?;
+            for _ in 0..entries {
+                let start = r.u64()?;
+                let device = r.u32()?;
+                let end = r.u64()?;
+                heap.push(Reverse((start, device, end)));
+            }
+        }
+        self.scratch.clear();
+        Ok(())
     }
 }
 

@@ -29,7 +29,9 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
-use venn_core::{DeviceId, DeviceInfo, SimTime, DAY_MS};
+use venn_core::{
+    Capacity, DeviceId, DeviceInfo, SimTime, SnapError, SnapReader, SnapWriter, DAY_MS,
+};
 use venn_traces::{CapacityModel, DeviceProfile};
 
 /// Per-device simulation state.
@@ -395,6 +397,173 @@ impl DevicePool {
             }
         }
     }
+
+    /// The capacity the scheduler would see for `device`, if the device
+    /// is materialized. Used when snapshotting parked polls (the poll
+    /// carries no capacity of its own); absent lazy devices fall back to
+    /// re-deriving the profile from the capacity model at the caller.
+    pub fn snapshot_capacity(&self, device: usize) -> Option<Capacity> {
+        self.state(device).map(|d| *d.info.capacity())
+    }
+
+    /// Encodes the pool's mutable state. Static facts — population size,
+    /// per-device profiles on the dense arms, the lazy arm's capacity
+    /// model and split seed — are re-derived by world reconstruction and
+    /// deliberately not written; only what runtime events have changed is.
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        match &self.store {
+            Store::Dense(v) => {
+                w.u8(0);
+                w.len_prefix(v.len());
+                for d in v {
+                    encode_mutable(d, w);
+                }
+            }
+            Store::Lazy(l) => {
+                w.u8(1);
+                // Materialized devices, in index order (slot order).
+                w.len_prefix(l.live);
+                for (device, slot) in l.slots.iter().enumerate() {
+                    if let Some(d) = slot.as_deref() {
+                        w.u32(device as u32);
+                        encode_mutable(d, w);
+                    }
+                }
+                // Durable overlay, sorted by device for a canonical byte
+                // stream (HashMap iteration order is not deterministic).
+                let mut durable: Vec<(u32, Durable)> =
+                    l.durable.iter().map(|(&k, &v)| (k, v)).collect();
+                durable.sort_unstable_by_key(|&(k, _)| k);
+                w.len_prefix(durable.len());
+                for (device, d) in &durable {
+                    w.u32(*device);
+                    w.option(&d.last_task_day, |w, &day| w.u64(day));
+                    w.u64(d.hold_seq);
+                }
+                // Pending retire notes, sorted (heap layout is an
+                // implementation detail; only the multiset matters).
+                let mut notes: Vec<(SimTime, u32)> =
+                    l.retire_notes.iter().map(|&Reverse(n)| n).collect();
+                notes.sort_unstable();
+                w.len_prefix(notes.len());
+                for (end, device) in &notes {
+                    w.u64(*end);
+                    w.u32(*device);
+                }
+                w.usize(l.peak_live);
+            }
+        }
+    }
+
+    /// Restores the pool's mutable state into a freshly constructed pool
+    /// of the same arm and population (world reconstruction provides the
+    /// static facts). Fails with [`SnapError::Corrupt`] on arm or
+    /// population mismatch rather than producing a half-restored pool.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        let tag = r.u8()?;
+        let expected = if self.is_lazy() { 1 } else { 0 };
+        if tag != expected {
+            return Err(SnapError::Corrupt(format!(
+                "device pool storage tag {tag}, expected {expected}"
+            )));
+        }
+        let population = self.population;
+        match &mut self.store {
+            Store::Dense(v) => {
+                let n = r.len_prefix()?;
+                if n != v.len() {
+                    return Err(SnapError::Corrupt(format!(
+                        "dense pool population {} != snapshot {n}",
+                        v.len()
+                    )));
+                }
+                for d in v.iter_mut() {
+                    decode_mutable(d, r)?;
+                }
+            }
+            Store::Lazy(l) => {
+                l.slots.iter_mut().for_each(|s| *s = None);
+                l.durable.clear();
+                l.retire_notes.clear();
+                l.live = 0;
+                l.peak_live = 0;
+                let live = r.len_prefix()?;
+                for _ in 0..live {
+                    let device = r.u32()? as usize;
+                    if device >= population {
+                        return Err(SnapError::Corrupt(format!(
+                            "materialized device {device} out of population {population}"
+                        )));
+                    }
+                    if l.slots[device].is_some() {
+                        return Err(SnapError::Corrupt(format!(
+                            "device {device} materialized twice"
+                        )));
+                    }
+                    let d = l.materialize(device);
+                    decode_mutable(d, r)?;
+                }
+                let durable = r.len_prefix()?;
+                for _ in 0..durable {
+                    let device = r.u32()?;
+                    if device as usize >= population {
+                        return Err(SnapError::Corrupt(format!(
+                            "durable device {device} out of population {population}"
+                        )));
+                    }
+                    let last_task_day = r.option(|r| r.u64())?;
+                    let hold_seq = r.u64()?;
+                    l.durable.insert(
+                        device,
+                        Durable {
+                            last_task_day,
+                            hold_seq,
+                        },
+                    );
+                }
+                let notes = r.len_prefix()?;
+                for _ in 0..notes {
+                    let end = r.u64()?;
+                    let device = r.u32()?;
+                    l.retire_notes.push(Reverse((end, device)));
+                }
+                let peak = r.usize()?;
+                if peak < l.live {
+                    return Err(SnapError::Corrupt(format!(
+                        "peak_live {peak} below live {}",
+                        l.live
+                    )));
+                }
+                l.peak_live = peak;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The eight per-device fields runtime events mutate (profile and info
+/// are static per materialization and re-derived on restore).
+fn encode_mutable(d: &DeviceState, w: &mut SnapWriter) {
+    w.u64(d.session_end);
+    w.bool(d.busy);
+    w.option(&d.last_task_day, |w, &day| w.u64(day));
+    w.usize(d.held_slot);
+    w.bool(d.held);
+    w.usize(d.held_job);
+    w.u64(d.hold_seq);
+    w.bool(d.failed_task);
+}
+
+fn decode_mutable(d: &mut DeviceState, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+    d.session_end = r.u64()?;
+    d.busy = r.bool()?;
+    d.last_task_day = r.option(|r| r.u64())?;
+    d.held_slot = r.usize()?;
+    d.held = r.bool()?;
+    d.held_job = r.usize()?;
+    d.hold_seq = r.u64()?;
+    d.failed_task = r.bool()?;
+    Ok(())
 }
 
 impl LazyStore {

@@ -35,7 +35,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use venn_core::{JobId, SimTime};
+use venn_core::{JobId, SimTime, SnapError, SnapReader, SnapWriter, Snapshot};
 
 /// What happens at an event's firing time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +97,136 @@ pub struct Event {
     pub seq: u64,
     /// Payload.
     pub kind: EventKind,
+}
+
+impl Snapshot for EventKind {
+    fn encode(&self, w: &mut SnapWriter) {
+        match *self {
+            EventKind::JobArrival { job_idx } => {
+                w.u8(0);
+                w.usize(job_idx);
+            }
+            EventKind::SessionStart {
+                device,
+                session_end,
+            } => {
+                w.u8(1);
+                w.usize(device);
+                w.u64(session_end);
+            }
+            EventKind::EnvDisturbance { env_idx } => {
+                w.u8(2);
+                w.usize(env_idx);
+            }
+            EventKind::CheckIn { device } => {
+                w.u8(3);
+                w.usize(device);
+            }
+            EventKind::HoldExpire {
+                job,
+                epoch,
+                device,
+                hold_seq,
+            } => {
+                w.u8(4);
+                w.u64(job.as_u64());
+                w.u32(epoch);
+                w.usize(device);
+                w.u64(hold_seq);
+            }
+            EventKind::Response {
+                job,
+                epoch,
+                device,
+                response_ms,
+            } => {
+                w.u8(5);
+                w.u64(job.as_u64());
+                w.u32(epoch);
+                w.usize(device);
+                w.u64(response_ms);
+            }
+            EventKind::AssignFailure { job, epoch, device } => {
+                w.u8(6);
+                w.u64(job.as_u64());
+                w.u32(epoch);
+                w.usize(device);
+            }
+            EventKind::RoundDeadline { job, epoch } => {
+                w.u8(7);
+                w.u64(job.as_u64());
+                w.u32(epoch);
+            }
+            EventKind::RoundStart { job_idx } => {
+                w.u8(8);
+                w.usize(job_idx);
+            }
+            EventKind::CohortWake { cohort } => {
+                w.u8(9);
+                w.usize(cohort);
+            }
+        }
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => EventKind::JobArrival {
+                job_idx: r.usize()?,
+            },
+            1 => EventKind::SessionStart {
+                device: r.usize()?,
+                session_end: r.u64()?,
+            },
+            2 => EventKind::EnvDisturbance {
+                env_idx: r.usize()?,
+            },
+            3 => EventKind::CheckIn { device: r.usize()? },
+            4 => EventKind::HoldExpire {
+                job: JobId::new(r.u64()?),
+                epoch: r.u32()?,
+                device: r.usize()?,
+                hold_seq: r.u64()?,
+            },
+            5 => EventKind::Response {
+                job: JobId::new(r.u64()?),
+                epoch: r.u32()?,
+                device: r.usize()?,
+                response_ms: r.u64()?,
+            },
+            6 => EventKind::AssignFailure {
+                job: JobId::new(r.u64()?),
+                epoch: r.u32()?,
+                device: r.usize()?,
+            },
+            7 => EventKind::RoundDeadline {
+                job: JobId::new(r.u64()?),
+                epoch: r.u32()?,
+            },
+            8 => EventKind::RoundStart {
+                job_idx: r.usize()?,
+            },
+            9 => EventKind::CohortWake { cohort: r.usize()? },
+            other => {
+                return Err(SnapError::Corrupt(format!("event kind tag {other}")));
+            }
+        })
+    }
+}
+
+impl Snapshot for Event {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.u64(self.time);
+        w.u64(self.seq);
+        self.kind.encode(w);
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Event {
+            time: r.u64()?,
+            seq: r.u64()?,
+            kind: EventKind::decode(r)?,
+        })
+    }
 }
 
 impl Ord for Event {
@@ -400,6 +530,53 @@ impl EventQueue {
     /// baseline.
     pub fn peak_len(&self) -> usize {
         self.peak_len
+    }
+
+    /// Next sequence number this queue would issue — part of a snapshot,
+    /// because reserved-but-unscheduled seqs (parked polls) must keep
+    /// their exact tie-break positions across a resume.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Every pending event in `(time, seq)` order — the queue's canonical
+    /// snapshot form, identical for both arms (and for a wheel cursor at
+    /// any position), so snapshot bytes never depend on the backing arm's
+    /// internal layout.
+    pub fn snapshot_events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len);
+        match &self.imp {
+            QueueImpl::Wheel(w) => {
+                out.extend_from_slice(&w.current[w.pos..]);
+                for slot in &w.slots {
+                    out.extend_from_slice(slot);
+                }
+                out.extend(w.overflow.iter().copied());
+            }
+            QueueImpl::Heap(h) => out.extend(h.iter().copied()),
+        }
+        out.sort_unstable_by_key(|e| (e.time, e.seq));
+        debug_assert_eq!(out.len(), self.len);
+        out
+    }
+
+    /// Rebuilds a queue from its snapshot form: the chosen arm, every
+    /// pending event (each keeping its original seq), the seq counter, and
+    /// the peak-length high-water mark. The pop sequence of the restored
+    /// queue is identical to the snapshotted one's.
+    pub fn restore(
+        kind: QueueKind,
+        events: &[Event],
+        next_seq: u64,
+        peak_len: usize,
+    ) -> EventQueue {
+        let mut q = EventQueue::with_kind(kind);
+        q.next_seq = next_seq;
+        for e in events {
+            q.push_reserved(e.time, e.seq, e.kind);
+        }
+        q.peak_len = peak_len.max(q.len);
+        q
     }
 }
 

@@ -38,6 +38,7 @@ pub mod job_table;
 pub mod observer;
 pub mod result;
 pub mod shard;
+pub mod snapshot;
 pub mod world;
 
 pub use cohort::CohortSet;
@@ -49,6 +50,7 @@ pub use job_table::{JobPhase, JobRuntime, JobTable};
 pub use observer::{AssignmentLog, CompletionLog, EventTrace, RoundRecorder, SimObserver};
 pub use result::{RoundLog, SimResult};
 pub use shard::ShardPlane;
+pub use snapshot::{resume_world, run_fingerprint, snapshot_world};
 pub use world::World;
 
 pub use venn_core::Scheduler;

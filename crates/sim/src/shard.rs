@@ -516,6 +516,23 @@ impl ShardPlane {
         }
     }
 
+    /// Every parked poll as `(time, seq, device)`, merged across shards
+    /// into `(time, seq)` order — the canonical, shard-count-agnostic
+    /// snapshot form. Cached session ends and capacities are
+    /// deliberately dropped: they are pure caches of device-pool facts,
+    /// re-derived at re-park time, so a snapshot taken under `shards=4`
+    /// restores bit-identically under any shard count (or the sequential
+    /// arm).
+    pub fn snapshot_polls(&self) -> Vec<(SimTime, u64, u32)> {
+        let mut polls: Vec<(SimTime, u64, u32)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.q.iter().map(|e| (e.time, e.seq, e.device)))
+            .collect();
+        polls.sort_unstable();
+        polls
+    }
+
     /// Demand just opened: every parked poll re-enters the event queue at
     /// its reserved `(time, seq)` position, drained across shards in
     /// merged order — byte-identical pushes to the sequential arm's

@@ -1,0 +1,194 @@
+//! Whole-run checkpoints: a sealed container pairing a [`World`]
+//! snapshot with the scheduler's saved state, pinned to the `(config,
+//! workload)` pair that produced it.
+//!
+//! # Container layout
+//!
+//! The body inside the [`seal`]ed frame (magic, format version, length,
+//! FNV-1a checksum — see [`venn_core::snapshot`]) is:
+//!
+//! 1. run fingerprint (`u64`) — see [`run_fingerprint`]
+//! 2. [`World::encode_state`] — all mutable kernel state in canonical
+//!    (layout-independent) form
+//! 3. [`Scheduler::save_state`] — the scheduler's own arm-fingerprinted
+//!    dump
+//!
+//! # What resume means
+//!
+//! [`resume_world`] rebuilds a fresh world with [`World::new`] — which
+//! re-derives every immutable or deterministically-recomputable artifact
+//! (device profiles, session streams, compiled environment schedule, job
+//! specs) — then overwrites the mutable state from the snapshot. The
+//! resumed run's remaining event stream, RNG draws, and final
+//! [`SimResult`](crate::SimResult) are byte-identical to the
+//! uninterrupted run's: the checkpoint captures the full `(time, seq)`
+//! total order, every split RNG stream position, and all reserved seqs.
+//!
+//! The fingerprint deliberately *excludes* the queue kind, exec mode, and
+//! shard count: results are identical across those arms by construction,
+//! so a snapshot taken under `--shards 4` may resume sequentially (or
+//! vice versa). Everything else about the run — population, seed,
+//! environment preset, population mode, workload — must match, because
+//! the snapshot stores only state those inputs cannot re-derive.
+
+use venn_core::snapshot::{checksum, seal, unseal};
+use venn_core::{Scheduler, SnapError, SnapReader, SnapWriter};
+use venn_traces::Workload;
+
+use crate::config::{ExecMode, SimConfig};
+use crate::event::QueueKind;
+use crate::world::World;
+
+/// A collision-resistant-enough identity for "the same run": the FNV-1a
+/// checksum of the config and workload debug renderings, with the
+/// result-invariant arms (queue kind, exec mode) normalized away.
+///
+/// Debug renderings make every field — including ones future PRs add —
+/// part of the identity by default; a field must be *explicitly*
+/// normalized here to opt out. The population mode stays in: the split
+/// and eager arms share results but not RNG stream lineage, so their
+/// snapshots are not interchangeable.
+pub fn run_fingerprint(config: &SimConfig, workload: &Workload) -> u64 {
+    let mut canon = *config;
+    canon.exec = ExecMode::Sequential;
+    canon.queue = QueueKind::Wheel;
+    checksum(format!("{canon:?}|{workload:?}").as_bytes())
+}
+
+/// Serializes a mid-run world and its scheduler into a sealed checkpoint.
+///
+/// Call between [`World::step`]s — snapshots are only well-defined at
+/// event boundaries. Returns [`SnapError::Unsupported`] when the
+/// scheduler does not implement state capture.
+pub fn snapshot_world(world: &World<'_>, scheduler: &dyn Scheduler) -> Result<Vec<u8>, SnapError> {
+    let mut w = SnapWriter::new();
+    w.u64(run_fingerprint(world.config(), world.workload()));
+    world.encode_state(&mut w);
+    scheduler.save_state(&mut w)?;
+    Ok(seal(w.into_bytes()))
+}
+
+/// Rebuilds a world (and overwrites `scheduler`'s state) from a sealed
+/// checkpoint, ready to continue stepping exactly where the checkpointed
+/// run left off.
+///
+/// `config` and `workload` must be the pair the snapshot was taken under
+/// (queue kind, exec mode, and shard count excepted — see the module
+/// docs); `scheduler` must be a fresh instance of the same scheduler
+/// build. Every failure mode — truncation, bit flips, wrong format
+/// version, mismatched run or scheduler — returns a [`SnapError`];
+/// nothing in this path panics.
+pub fn resume_world<'w>(
+    bytes: &[u8],
+    config: SimConfig,
+    workload: &'w Workload,
+    scheduler: &mut dyn Scheduler,
+) -> Result<World<'w>, SnapError> {
+    let body = unseal(bytes)?;
+    let mut r = SnapReader::new(body);
+    let stored = r.u64()?;
+    let expected = run_fingerprint(&config, workload);
+    if stored != expected {
+        return Err(SnapError::Corrupt(format!(
+            "snapshot fingerprint {stored:#018x} does not match this \
+             (config, workload) pair {expected:#018x} — resume must use \
+             the run's original parameters"
+        )));
+    }
+    let mut world = World::new(config, workload, scheduler.name());
+    world.restore_state(&mut r)?;
+    scheduler.load_state(&mut r)?;
+    r.finish()?;
+    Ok(world)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PopMode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use venn_baselines::BaselineScheduler;
+
+    fn setup() -> (SimConfig, Workload) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let workload = Workload::default_scenario(4, &mut rng);
+        (SimConfig::small(), workload)
+    }
+
+    #[test]
+    fn fingerprint_ignores_result_invariant_arms() {
+        let (config, workload) = setup();
+        let base = run_fingerprint(&config, &workload);
+        let mut sharded = config;
+        sharded.exec = ExecMode::Sharded { shards: 4 };
+        sharded.queue = QueueKind::Heap;
+        assert_eq!(run_fingerprint(&sharded, &workload), base);
+    }
+
+    #[test]
+    fn fingerprint_pins_seed_and_pop_mode() {
+        let (config, workload) = setup();
+        let base = run_fingerprint(&config, &workload);
+        let mut reseeded = config;
+        reseeded.seed += 1;
+        assert_ne!(run_fingerprint(&reseeded, &workload), base);
+        let mut split = config;
+        split.pop_mode = PopMode::Lazy;
+        assert_ne!(run_fingerprint(&split, &workload), base);
+    }
+
+    #[test]
+    fn resume_rejects_wrong_run() {
+        let (config, workload) = setup();
+        let mut sched = BaselineScheduler::fifo();
+        let mut world = World::new(config, &workload, sched.name());
+        for _ in 0..50 {
+            if !world.step(&mut sched, &mut []) {
+                break;
+            }
+        }
+        let bytes = snapshot_world(&world, &sched).expect("snapshot");
+        let mut other = config;
+        other.seed ^= 0xdead_beef;
+        let mut fresh = BaselineScheduler::fifo();
+        let err = resume_world(&bytes, other, &workload, &mut fresh).unwrap_err();
+        assert!(matches!(err, SnapError::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn resume_rejects_tampered_bytes() {
+        let (config, workload) = setup();
+        let mut sched = BaselineScheduler::fifo();
+        let mut world = World::new(config, &workload, sched.name());
+        for _ in 0..50 {
+            if !world.step(&mut sched, &mut []) {
+                break;
+            }
+        }
+        let mut bytes = snapshot_world(&world, &sched).expect("snapshot");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        let mut fresh = BaselineScheduler::fifo();
+        let err = resume_world(&bytes, config, &workload, &mut fresh).unwrap_err();
+        assert!(
+            matches!(err, SnapError::ChecksumMismatch { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn resume_rejects_truncation() {
+        let (config, workload) = setup();
+        let sched = BaselineScheduler::fifo();
+        let world = World::new(config, &workload, sched.name());
+        let bytes = snapshot_world(&world, &sched).expect("snapshot");
+        for cut in [0, 3, 16, bytes.len() - 1] {
+            let mut fresh = BaselineScheduler::fifo();
+            assert!(
+                resume_world(&bytes[..cut], config, &workload, &mut fresh).is_err(),
+                "truncation to {cut} bytes must not resume"
+            );
+        }
+    }
+}

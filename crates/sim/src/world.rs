@@ -21,9 +21,9 @@ use std::collections::VecDeque;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use venn_core::{JobId, Scheduler, SimTime};
+use venn_core::{JobId, Scheduler, SimTime, SnapError, SnapReader, SnapWriter, Snapshot};
 use venn_env::{Disturbance, EnvRuntime};
-use venn_metrics::EnvStats;
+use venn_metrics::{EnvStats, Histogram, JctRecord};
 use venn_traces::dist::LogNormal;
 use venn_traces::Workload;
 
@@ -31,7 +31,7 @@ use crate::cohort::CohortSet;
 use crate::config::{ExecMode, PopMode, SimConfig};
 use crate::device_pool::DevicePool;
 use crate::event::{Event, EventKind, EventQueue};
-use crate::job_table::{JobPhase, JobTable};
+use crate::job_table::{JobPhase, JobRuntime, JobTable};
 use crate::observer::SimObserver;
 use crate::result::{RoundLog, SimResult};
 use crate::shard::ShardPlane;
@@ -157,6 +157,9 @@ pub struct World<'w> {
     noise: LogNormal,
     result: SimResult,
     horizon: SimTime,
+    /// Timestamp of the most recently popped event — the kernel's wall
+    /// clock, used by checkpointing drivers to pace snapshot cadence.
+    now: SimTime,
 }
 
 impl<'w> World<'w> {
@@ -312,6 +315,7 @@ impl<'w> World<'w> {
                 ..SimResult::default()
             },
             horizon,
+            now: 0,
             config,
             workload,
         }
@@ -332,10 +336,26 @@ impl<'w> World<'w> {
         self.result.events
     }
 
+    /// Timestamp of the most recently popped event (0 before the first
+    /// step) — the simulated clock a checkpointing driver paces by.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
     /// The device pool — read-only telemetry access (e.g. live/peak
     /// materialized-device counts on the lazy storage arm).
     pub fn devices(&self) -> &DevicePool {
         &self.devices
+    }
+
+    /// Number of demand-gated polls currently parked, on whichever plane
+    /// this run uses — telemetry for checkpoint tests picking crash
+    /// points with parked state.
+    pub fn parked_poll_count(&self) -> usize {
+        match &self.shard_plane {
+            Some(plane) => plane.len(),
+            None => self.parked.len(),
+        }
     }
 
     /// Pops and dispatches the next event. Returns `false` when the queue
@@ -348,6 +368,7 @@ impl<'w> World<'w> {
         let Some(event) = self.queue.pop() else {
             return false;
         };
+        self.now = event.time;
         if self.has_parked() {
             self.advance_polls(event.time, event.seq, scheduler);
         }
@@ -1188,4 +1209,364 @@ impl<'w> World<'w> {
             }
         }
     }
+
+    /// Encodes every piece of mutable run state into `w` — the world half
+    /// of a checkpoint (the scheduler half rides alongside; see
+    /// [`crate::snapshot`]).
+    ///
+    /// Immutable state (config, workload, compiled environment schedule,
+    /// session stream entries, job specs, noise distribution, horizon) is
+    /// *not* written: [`World::new`] re-derives it deterministically from
+    /// `(config, workload)`, and the container fingerprint pins that the
+    /// resuming process passes the same pair. Internal-layout-dependent
+    /// structures (timing wheel, shard assignment) are written in
+    /// canonical form — the sorted `(time, seq)` event/poll lists — so a
+    /// snapshot restores bit-identically across queue kinds, exec modes,
+    /// and shard counts.
+    pub fn encode_state(&self, w: &mut SnapWriter) {
+        w.u64(self.now);
+        self.devices.encode_state(w);
+
+        // Job table: mutable fields only; `spec` is re-derived from the
+        // workload plan by the constructor.
+        w.len_prefix(self.jobs.len());
+        for idx in 0..self.jobs.len() {
+            encode_job(self.jobs.get(idx), w);
+        }
+
+        // Event queue in canonical sorted form, plus the seq counter
+        // (reserved-but-unscheduled seqs must never be reissued) and the
+        // high-water mark (a reported statistic).
+        w.u64(self.queue.next_seq());
+        w.usize(self.queue.peak_len());
+        let events = self.queue.snapshot_events();
+        w.seq(&events, |w, e| e.encode(w));
+
+        // Parked polls, merged across whichever plane holds them. Only
+        // the `(time, seq, device)` identity is written: cached session
+        // ends and capacities are pure caches of device-pool facts,
+        // re-derived at re-park time.
+        let polls: Vec<(SimTime, u64, u32)> = match &self.shard_plane {
+            Some(plane) => plane.snapshot_polls(),
+            None => self
+                .parked
+                .iter()
+                .map(|p| (p.time, p.seq, p.device as u32))
+                .collect(),
+        };
+        w.seq(&polls, |w, &(time, seq, device)| {
+            w.u64(time);
+            w.u64(seq);
+            w.u32(device);
+        });
+
+        // Environment runtime: only the three disturbance RNG streams
+        // advance at runtime; everything else recompiles from the config.
+        let env_states = self.env.as_ref().map(|e| e.rng_states());
+        w.option(&env_states, |w, &(churn, fault, drop)| {
+            for stream in [churn, fault, drop] {
+                for word in stream {
+                    w.u64(word);
+                }
+            }
+        });
+
+        // Cohort wheel (split population arms only).
+        match &self.cohorts {
+            Some(c) => {
+                w.bool(true);
+                c.encode_state(w);
+            }
+            None => w.bool(false),
+        }
+
+        // Session stream: entries are re-derived; only the drain cursor
+        // moves. The entry count doubles as a cheap consistency check.
+        w.usize(self.session_stream.entries.len());
+        w.usize(self.session_stream.cursor);
+
+        // Kernel RNG (response noise).
+        self.rng.encode(w);
+
+        // Mid-run result accumulators. `records` is empty until
+        // `finish()` and `peak_queue_len` is derived there from the
+        // queue's own high-water mark, so neither is written.
+        w.str(&self.result.scheduler_name);
+        w.u64(self.result.events);
+        w.u64(self.result.aborted_rounds);
+        w.u64(self.result.assignments);
+        w.u64(self.result.failures);
+        w.u64(self.result.peak_bytes);
+        encode_env_stats(&self.result.env, w);
+        w.seq(&self.result.rounds, |w, log| encode_round_log(log, w));
+    }
+
+    /// Overwrites this world's mutable state from a snapshot written by
+    /// [`encode_state`](Self::encode_state).
+    ///
+    /// Call on a world freshly built by [`World::new`] with the *same*
+    /// `(config, workload, scheduler_name)` as the checkpointed run
+    /// (cross-arm resumes — different queue kind, exec mode, or shard
+    /// count — are fine: results are identical across those arms by
+    /// construction). The constructor's initial queue contents are
+    /// discarded wholesale; the snapshot's pending-event set is
+    /// authoritative. Returns [`SnapError::Corrupt`] — never panics — on
+    /// any internally inconsistent input that slips past the container
+    /// checksum.
+    pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.now = r.u64()?;
+        self.devices.restore_state(r)?;
+
+        let job_count = r.len_prefix()?;
+        if job_count != self.jobs.len() {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot has {job_count} jobs, workload has {}",
+                self.jobs.len()
+            )));
+        }
+        for idx in 0..job_count {
+            decode_job(self.jobs.get_mut(idx), r)?;
+        }
+
+        let next_seq = r.u64()?;
+        let peak_len = r.usize()?;
+        let events = r.seq(Event::decode)?;
+        for pair in events.windows(2) {
+            if (pair[0].time, pair[0].seq) >= (pair[1].time, pair[1].seq) {
+                return Err(SnapError::Corrupt("event list not sorted".into()));
+            }
+        }
+        if events.iter().any(|e| e.seq >= next_seq) {
+            return Err(SnapError::Corrupt("event seq beyond queue counter".into()));
+        }
+        let polls = r.seq(|r| Ok((r.u64()?, r.u64()?, r.u32()?)))?;
+        for pair in polls.windows(2) {
+            if pair[0] >= pair[1] {
+                return Err(SnapError::Corrupt("poll list not sorted".into()));
+            }
+        }
+        for &(_, seq, device) in &polls {
+            if seq >= next_seq {
+                return Err(SnapError::Corrupt("poll seq beyond queue counter".into()));
+            }
+            if device as usize >= self.config.population {
+                return Err(SnapError::Corrupt(format!(
+                    "parked poll device {device} out of range"
+                )));
+            }
+        }
+        self.queue = EventQueue::restore(self.config.queue, &events, next_seq, peak_len);
+
+        // Re-park under whichever plane *this* run uses, re-reading the
+        // authoritative session end (and capacity) from the just-restored
+        // device pool. A fresh plane starts at generation 0 with all
+        // cached ends authoritative — behaviorally identical to the
+        // checkpointed plane's cache state, which only ever
+        // *under*-estimates session ends between generation bumps.
+        self.parked.clear();
+        if let ExecMode::Sharded { shards } = self.config.exec {
+            let mut plane = Box::new(ShardPlane::new(self.config.population, shards));
+            for &(time, seq, device) in &polls {
+                let device = device as usize;
+                let end = self.devices.session_end(device);
+                let cap = self.devices.snapshot_capacity(device).unwrap_or_else(|| {
+                    self.config
+                        .capacity
+                        .sample_device(self.config.seed, device)
+                        .capacity
+                });
+                plane.park(device, time, seq, end, cap);
+            }
+            self.shard_plane = Some(plane);
+        } else {
+            self.shard_plane = None;
+            for &(time, seq, device) in &polls {
+                self.parked.push_back(ParkedPoll {
+                    time,
+                    seq,
+                    device: device as usize,
+                });
+            }
+        }
+
+        let env_states = r.option(|r| {
+            let mut streams = [[0u64; 4]; 3];
+            for stream in &mut streams {
+                for word in stream.iter_mut() {
+                    *word = r.u64()?;
+                }
+            }
+            Ok(streams)
+        })?;
+        match (&mut self.env, env_states) {
+            (Some(e), Some(s)) => e.restore_rng_states(s[0], s[1], s[2]),
+            (None, None) => {}
+            (have, _) => {
+                return Err(SnapError::Corrupt(format!(
+                    "environment presence mismatch (config compiles env: {})",
+                    have.is_some()
+                )));
+            }
+        }
+
+        let has_cohorts = r.bool()?;
+        match (&mut self.cohorts, has_cohorts) {
+            (Some(c), true) => c.restore_state(r)?,
+            (None, false) => {}
+            (have, _) => {
+                return Err(SnapError::Corrupt(format!(
+                    "cohort presence mismatch (config uses cohorts: {})",
+                    have.is_some()
+                )));
+            }
+        }
+
+        let entry_count = r.usize()?;
+        if entry_count != self.session_stream.entries.len() {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot has {entry_count} stream sessions, rebuild has {}",
+                self.session_stream.entries.len()
+            )));
+        }
+        let cursor = r.usize()?;
+        if cursor > entry_count {
+            return Err(SnapError::Corrupt(format!(
+                "stream cursor {cursor} beyond {entry_count} entries"
+            )));
+        }
+        self.session_stream.cursor = cursor;
+
+        self.rng = StdRng::decode(r)?;
+
+        let name = r.str()?;
+        if name != self.result.scheduler_name {
+            return Err(SnapError::Corrupt(format!(
+                "snapshot taken under scheduler {name:?}, resuming {:?}",
+                self.result.scheduler_name
+            )));
+        }
+        self.result.events = r.u64()?;
+        self.result.aborted_rounds = r.u64()?;
+        self.result.assignments = r.u64()?;
+        self.result.failures = r.u64()?;
+        self.result.peak_bytes = r.u64()?;
+        self.result.env = decode_env_stats(r)?;
+        self.result.rounds = r.seq(decode_round_log)?;
+        Ok(())
+    }
+}
+
+fn encode_job(j: &JobRuntime, w: &mut SnapWriter) {
+    w.u32(j.rounds_done);
+    w.u8(match j.phase {
+        JobPhase::Idle => 0,
+        JobPhase::Allocating => 1,
+        JobPhase::Running => 2,
+        JobPhase::Finished => 3,
+    });
+    w.u32(j.epoch);
+    w.u64(j.request_start);
+    w.u64(j.round_start);
+    w.u32(j.assigned);
+    w.u32(j.responses);
+    w.seq(&j.held, |w, &d| w.usize(d));
+    w.seq(&j.participants, |w, &d| w.usize(d));
+    encode_record(&j.record, w);
+}
+
+fn decode_job(j: &mut JobRuntime, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+    j.rounds_done = r.u32()?;
+    j.phase = match r.u8()? {
+        0 => JobPhase::Idle,
+        1 => JobPhase::Allocating,
+        2 => JobPhase::Running,
+        3 => JobPhase::Finished,
+        other => {
+            return Err(SnapError::Corrupt(format!("job phase tag {other}")));
+        }
+    };
+    j.epoch = r.u32()?;
+    j.request_start = r.u64()?;
+    j.round_start = r.u64()?;
+    j.assigned = r.u32()?;
+    j.responses = r.u32()?;
+    j.held = r.seq(|r| r.usize())?;
+    j.participants = r.seq(|r| r.usize())?;
+    decode_record(&mut j.record, r)?;
+    Ok(())
+}
+
+fn encode_record(rec: &JctRecord, w: &mut SnapWriter) {
+    w.u64(rec.arrival_ms);
+    w.option(&rec.finish_ms, |w, &t| w.u64(t));
+    w.u64(rec.sched_delay_ms);
+    w.u64(rec.response_ms);
+    w.u32(rec.rounds_completed);
+    w.u32(rec.rounds_aborted);
+}
+
+fn decode_record(rec: &mut JctRecord, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+    rec.arrival_ms = r.u64()?;
+    rec.finish_ms = r.option(|r| r.u64())?;
+    rec.sched_delay_ms = r.u64()?;
+    rec.response_ms = r.u64()?;
+    rec.rounds_completed = r.u32()?;
+    rec.rounds_aborted = r.u32()?;
+    Ok(())
+}
+
+fn encode_env_stats(s: &EnvStats, w: &mut SnapWriter) {
+    w.u64(s.dropouts);
+    w.u64(s.forced_offline);
+    w.u64(s.storm_aborts);
+    w.u64(s.retries);
+    w.seq(&s.tier_response_ms, |w, h| {
+        let (lo, hi) = h.bounds();
+        w.f64(lo);
+        w.f64(hi);
+        w.seq(h.counts(), |w, &c| w.u64(c));
+    });
+}
+
+fn decode_env_stats(r: &mut SnapReader<'_>) -> Result<EnvStats, SnapError> {
+    Ok(EnvStats {
+        dropouts: r.u64()?,
+        forced_offline: r.u64()?,
+        storm_aborts: r.u64()?,
+        retries: r.u64()?,
+        tier_response_ms: r.seq(|r| {
+            let lo = r.f64()?;
+            let hi = r.f64()?;
+            let counts = r.seq(|r| r.u64())?;
+            // `Histogram::from_parts` panics on an invalid shape; corrupt
+            // input must surface as an error instead. NaN bounds are not
+            // Greater, so they are rejected here too.
+            let ordered = hi.partial_cmp(&lo) == Some(std::cmp::Ordering::Greater);
+            if counts.is_empty() || !ordered {
+                return Err(SnapError::Corrupt(format!(
+                    "histogram shape lo={lo} hi={hi} bins={}",
+                    counts.len()
+                )));
+            }
+            Ok(Histogram::from_parts(lo, hi, counts))
+        })?,
+    })
+}
+
+fn encode_round_log(log: &RoundLog, w: &mut SnapWriter) {
+    w.usize(log.job_idx);
+    w.u32(log.round);
+    w.u64(log.start_ms);
+    w.u64(log.end_ms);
+    w.seq(&log.participants, |w, &d| w.usize(d));
+}
+
+fn decode_round_log(r: &mut SnapReader<'_>) -> Result<RoundLog, SnapError> {
+    Ok(RoundLog {
+        job_idx: r.usize()?,
+        round: r.u32()?,
+        start_ms: r.u64()?,
+        end_ms: r.u64()?,
+        participants: r.seq(|r| r.usize())?,
+    })
 }

@@ -1,0 +1,138 @@
+//! In-process crash injection for the checkpoint/resume suites: run a
+//! cell to an arbitrary event boundary, snapshot it, throw the live
+//! world and scheduler away (the "crash"), rebuild both from the
+//! snapshot bytes in a fresh process-equivalent state, and run to
+//! completion.
+//!
+//! [`observe_kind_crashed`] captures the same observable surface as
+//! [`parity::observe_kind`](super::parity::observe_kind), so the two
+//! compose directly with
+//! [`assert_run_parity`](super::parity::assert_run_parity): a crashed
+//! run must be byte-identical to the uninterrupted run — records, round
+//! logs, assignment stream, dispatched event trace, environment
+//! counters, everything.
+//!
+//! Every crash also asserts *snapshot idempotence*: re-encoding the
+//! freshly restored world and scheduler must reproduce the checkpoint
+//! bytes exactly. That pins the canonical encodings (sorted event and
+//! poll lists, slot-order device dumps) as true fixed points, so a
+//! resume-of-a-resume cannot drift.
+
+#![allow(dead_code)]
+
+use venn::bench::SchedKind;
+use venn::sim::{resume_world, snapshot_world, AssignmentLog, EventTrace, SimConfig};
+use venn::sim::{SimResult, World};
+use venn::traces::Workload;
+
+use super::parity::{Observed, SCHED_SEED_SALT};
+
+/// Runs one cell with a crash after `crash_after` dispatched events,
+/// resuming from the snapshot in a fresh world + scheduler.
+///
+/// Observers live *outside* the crashed state on purpose — they stand in
+/// for the uninterrupted run's full observation history, so the parity
+/// assertion covers both the pre-crash and post-resume halves of the
+/// stream. If the run finishes before `crash_after` events, no crash is
+/// injected and the plain run is returned (callers sweeping random crash
+/// points don't need to know the run length in advance).
+pub fn observe_kind_crashed(
+    sim: SimConfig,
+    workload: &Workload,
+    kind: SchedKind,
+    crash_after: u64,
+) -> Observed {
+    let mut log = AssignmentLog::default();
+    let mut trace = EventTrace::default();
+    let result = run_crashed(
+        sim,
+        workload,
+        kind,
+        crash_after,
+        &mut [&mut log, &mut trace],
+    );
+    Observed { result, log, trace }
+}
+
+/// [`observe_kind_crashed`] with the crash point chosen by a predicate
+/// over the live world — for pinning crashes inside specific states
+/// (mid-round, parked polls pending) instead of at a fixed event count.
+/// Crashes at the first event boundary where `at` returns true; runs
+/// uninterrupted if it never does. Returns the crash point's event
+/// count alongside the observation so callers can assert the predicate
+/// actually fired.
+pub fn observe_kind_crashed_when(
+    sim: SimConfig,
+    workload: &Workload,
+    kind: SchedKind,
+    at: impl FnMut(&World<'_>) -> bool,
+    crashed_at: &mut Option<u64>,
+) -> Observed {
+    let mut log = AssignmentLog::default();
+    let mut trace = EventTrace::default();
+    let mut at = at;
+    let mut sched = kind.build(sim.seed ^ SCHED_SEED_SALT);
+    let mut world = World::new(sim, workload, sched.name());
+    let mut observers: [&mut dyn venn::sim::SimObserver; 2] = [&mut log, &mut trace];
+    let mut crashed = false;
+    while world.step(&mut *sched, &mut observers) {
+        if at(&world) {
+            crashed = true;
+            break;
+        }
+    }
+    let result = if crashed {
+        *crashed_at = Some(world.events_processed());
+        let bytes = snapshot_world(&world, &*sched).expect("snapshot at crash point");
+        drop(world);
+        drop(sched);
+        resume_and_finish(&bytes, sim, workload, kind, &mut observers)
+    } else {
+        *crashed_at = None;
+        world.finish(&mut observers)
+    };
+    Observed { result, log, trace }
+}
+
+fn run_crashed(
+    sim: SimConfig,
+    workload: &Workload,
+    kind: SchedKind,
+    crash_after: u64,
+    observers: &mut [&mut dyn venn::sim::SimObserver],
+) -> SimResult {
+    let mut sched = kind.build(sim.seed ^ SCHED_SEED_SALT);
+    let mut world = World::new(sim, workload, sched.name());
+    while world.events_processed() < crash_after {
+        if !world.step(&mut *sched, observers) {
+            // Ran dry before the crash point: nothing to crash.
+            return world.finish(observers);
+        }
+    }
+    let bytes = snapshot_world(&world, &*sched).expect("snapshot at crash point");
+    // The crash: both the world and the scheduler are dropped; only the
+    // serialized checkpoint survives into the "new process".
+    drop(world);
+    drop(sched);
+    resume_and_finish(&bytes, sim, workload, kind, observers)
+}
+
+fn resume_and_finish(
+    bytes: &[u8],
+    sim: SimConfig,
+    workload: &Workload,
+    kind: SchedKind,
+    observers: &mut [&mut dyn venn::sim::SimObserver],
+) -> SimResult {
+    let mut sched = kind.build(sim.seed ^ SCHED_SEED_SALT);
+    let mut world = resume_world(bytes, sim, workload, &mut *sched).expect("resume from snapshot");
+    // Idempotence: the restored state must re-encode to the exact
+    // checkpoint bytes — the canonical forms are fixed points.
+    let reencoded = snapshot_world(&world, &*sched).expect("re-snapshot restored world");
+    assert_eq!(
+        bytes, reencoded,
+        "snapshot of a restored world must be byte-identical to the original snapshot"
+    );
+    while world.step(&mut *sched, observers) {}
+    world.finish(observers)
+}

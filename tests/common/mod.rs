@@ -2,4 +2,5 @@
 //! files in subdirectories of `tests/` into test targets, so this module
 //! is pulled in by each suite that needs it via `mod common;`.
 
+pub mod crash;
 pub mod parity;

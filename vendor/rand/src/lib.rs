@@ -145,6 +145,21 @@ pub mod rngs {
         z ^ (z >> 31)
     }
 
+    impl StdRng {
+        /// The raw xoshiro256++ state words — the generator's exact stream
+        /// position, for snapshot/restore of a running simulation.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator at the exact stream position captured by
+        /// [`state`](StdRng::state): the restored generator produces the
+        /// same continuation stream the snapshotted one would have.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         fn seed_from_u64(seed: u64) -> Self {
             let mut sm = seed;
