@@ -64,8 +64,10 @@ fn main() {
     }
 
     if check {
-        let json = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("read scale baseline {path}: {e}"));
+        let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: read scale baseline {path}: {e}");
+            std::process::exit(1);
+        });
         match check_scale(&json, max_pop) {
             Ok(drifts) if drifts.is_empty() => {
                 println!("scale baseline OK ({path}, max-pop {max_pop})");
@@ -139,7 +141,9 @@ fn main() {
     }
     println!("{table}");
 
-    std::fs::write(&path, scale_json(seed, &rows))
-        .unwrap_or_else(|e| panic!("write scale baseline {path}: {e}"));
+    std::fs::write(&path, scale_json(seed, &rows)).unwrap_or_else(|e| {
+        eprintln!("error: write scale baseline {path}: {e}");
+        std::process::exit(1);
+    });
     eprintln!("wrote scale baseline to {path}");
 }

@@ -6,7 +6,7 @@
 //!
 //! ```text
 //! USAGE:
-//!   vennsim [--scheduler venn|random|fifo|srsf]
+//!   vennsim [serve] [--scheduler venn|random|random-per-device|fifo|srsf]
 //!           [--jobs N] [--population N] [--days N] [--seed N]
 //!           [--workload {even|small|large|low|high}]
 //!           [--bias {general|compute|memory|resource}]
@@ -15,21 +15,41 @@
 //!           [--pop eager|split-eager|lazy]
 //!           [--env off|flash-crowd|straggler-heavy|mass-dropout|chaos]
 //!           [--load FILE.tsv] [--save FILE.tsv] [--csv]
-//!           [--checkpoint-every SIM_MS] [--checkpoint-dir DIR] [--resume]
+//!           [--checkpoint-every SIM_MS] [--checkpoint-dir DIR]
+//!           [--checkpoint-keep N] [--resume] [--fork-from FILE.vsnp]
+//!           [--journal FILE] [--replay FILE] [--listen ADDR] [--rate F]
 //! ```
 //!
 //! `--shards N` runs the sharded execution engine with `N` lock-step
 //! shards; results are bit-identical to the default sequential engine.
 //!
 //! `--checkpoint-every SIM_MS` writes a durable snapshot of the full run
-//! state to `--checkpoint-dir` every `SIM_MS` of simulated time (the two
-//! newest checkpoints are retained). `--resume` picks up from the newest
-//! usable checkpoint in the directory — a corrupt or truncated file is
-//! skipped with a warning and the previous one is tried — and the
-//! resumed run's output is byte-identical to an uninterrupted run with
-//! the same parameters. Checkpoints only restore under the same
-//! `(seed, population, days, workload, scheduler, env, pop)` run
-//! identity; `--queue`, `--shards`, and the exec mode may differ.
+//! state to `--checkpoint-dir` every `SIM_MS` of simulated time (the
+//! `--checkpoint-keep` newest are retained, default 2). `--resume` picks
+//! up from the newest usable checkpoint in the directory — a corrupt or
+//! truncated file is skipped with a warning and the previous one is
+//! tried — and the resumed run's output is byte-identical to an
+//! uninterrupted run with the same parameters. Checkpoints only restore
+//! under the same `(seed, population, days, workload, scheduler, env,
+//! pop)` run identity; `--queue`, `--shards`, and the exec mode may
+//! differ.
+//!
+//! `--fork-from FILE.vsnp` is the what-if entry point: restore the
+//! world from a snapshot but hand it to a **fresh** `--scheduler` arm
+//! (open requests are resubmitted so the new arm builds its own book),
+//! then run to completion. Unlike `--resume`, the scheduler may differ
+//! from the one that wrote the snapshot. An offline `--fork-from` run
+//! is byte-identical to the same fork executed inside a live `serve`
+//! session at the same instant.
+//!
+//! `vennsim serve` (first positional argument) starts an online session
+//! instead of a batch run: line-delimited JSON commands on stdin (or a
+//! `--listen` TCP socket), responses on stdout. Virtual time advances
+//! only on `advance` commands, or continuously at `--rate` virtual ms
+//! per wall ms. `--journal FILE` records every accepted command;
+//! `--replay FILE` feeds a journal back through the same code path and
+//! reproduces the live session's output byte for byte. See the
+//! "Online serving" section of `ARCHITECTURE.md` for the protocol.
 //!
 //! Run: `cargo run --release -p venn-bench --bin vennsim -- --jobs 12 --days 5`
 
@@ -68,7 +88,14 @@ struct Args {
     csv: bool,
     checkpoint_every: Option<u64>,
     checkpoint_dir: Option<String>,
+    checkpoint_keep: usize,
     resume: bool,
+    fork_from: Option<String>,
+    serve: bool,
+    journal: Option<String>,
+    replay: Option<String>,
+    listen: Option<String>,
+    rate: Option<f64>,
 }
 
 impl Default for Args {
@@ -95,14 +122,25 @@ impl Default for Args {
             csv: false,
             checkpoint_every: None,
             checkpoint_dir: None,
+            checkpoint_keep: 2,
             resume: false,
+            fork_from: None,
+            serve: false,
+            journal: None,
+            replay: None,
+            listen: None,
+            rate: None,
         }
     }
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
-    let mut it = std::env::args().skip(1);
+    let mut it = std::env::args().skip(1).peekable();
+    if it.peek().map(String::as_str) == Some("serve") {
+        args.serve = true;
+        it.next();
+    }
     while let Some(flag) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
@@ -134,7 +172,11 @@ fn parse_args() -> Result<Args, String> {
                     "large" => WorkloadKind::Large,
                     "low" => WorkloadKind::Low,
                     "high" => WorkloadKind::High,
-                    other => return Err(format!("unknown workload {other:?}")),
+                    other => {
+                        return Err(format!(
+                            "--workload: unknown value {other:?} (valid: even|small|large|low|high)"
+                        ))
+                    }
                 }
             }
             "--bias" => {
@@ -143,7 +185,9 @@ fn parse_args() -> Result<Args, String> {
                     "compute" => BiasKind::ComputeHeavy,
                     "memory" => BiasKind::MemoryHeavy,
                     "resource" => BiasKind::ResourceHeavy,
-                    other => return Err(format!("unknown bias {other:?}")),
+                    other => return Err(format!(
+                        "--bias: unknown value {other:?} (valid: general|compute|memory|resource)"
+                    )),
                 })
             }
             "--epsilon" => {
@@ -161,7 +205,11 @@ fn parse_args() -> Result<Args, String> {
                 args.queue = match value("--queue")?.as_str() {
                     "wheel" => QueueKind::Wheel,
                     "heap" => QueueKind::Heap,
-                    other => return Err(format!("unknown queue {other:?}")),
+                    other => {
+                        return Err(format!(
+                            "--queue: unknown value {other:?} (valid: wheel|heap)"
+                        ))
+                    }
                 }
             }
             "--no-gating" => args.demand_gating = false,
@@ -179,13 +227,21 @@ fn parse_args() -> Result<Args, String> {
                     "eager" => PopMode::Eager,
                     "split-eager" => PopMode::SplitEager,
                     "lazy" => PopMode::Lazy,
-                    other => return Err(format!("unknown pop mode {other:?}")),
+                    other => {
+                        return Err(format!(
+                            "--pop: unknown value {other:?} (valid: eager|split-eager|lazy)"
+                        ))
+                    }
                 }
             }
             "--env" => {
                 let name = value("--env")?;
-                args.env = EnvPreset::parse(&name)
-                    .ok_or_else(|| format!("unknown env preset {name:?}"))?;
+                args.env = EnvPreset::parse(&name).ok_or_else(|| {
+                    format!(
+                        "--env: unknown value {name:?} (valid: {})",
+                        EnvPreset::ALL.map(|p| p.label()).join("|")
+                    )
+                })?;
             }
             "--overcommit" => {
                 args.overcommit = value("--overcommit")?
@@ -205,7 +261,29 @@ fn parse_args() -> Result<Args, String> {
                 args.checkpoint_every = Some(every);
             }
             "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--checkpoint-keep" => {
+                let keep: usize = value("--checkpoint-keep")?
+                    .parse()
+                    .map_err(|e| format!("--checkpoint-keep: {e}"))?;
+                if keep == 0 {
+                    return Err("--checkpoint-keep must be at least 1".into());
+                }
+                args.checkpoint_keep = keep;
+            }
             "--resume" => args.resume = true,
+            "--fork-from" => args.fork_from = Some(value("--fork-from")?),
+            "--journal" => args.journal = Some(value("--journal")?),
+            "--replay" => args.replay = Some(value("--replay")?),
+            "--listen" => args.listen = Some(value("--listen")?),
+            "--rate" => {
+                let rate: f64 = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?;
+                if !(rate > 0.0 && rate.is_finite()) {
+                    return Err("--rate must be a positive number".into());
+                }
+                args.rate = Some(rate);
+            }
             "--help" | "-h" => {
                 return Err("help".into());
             }
@@ -214,6 +292,22 @@ fn parse_args() -> Result<Args, String> {
     }
     if (args.checkpoint_every.is_some() || args.resume) && args.checkpoint_dir.is_none() {
         return Err("--checkpoint-every/--resume require --checkpoint-dir".into());
+    }
+    if !args.serve
+        && (args.journal.is_some()
+            || args.replay.is_some()
+            || args.listen.is_some()
+            || args.rate.is_some())
+    {
+        return Err("--journal/--replay/--listen/--rate only apply to `vennsim serve`".into());
+    }
+    if args.fork_from.is_some() && (args.serve || args.resume || args.checkpoint_every.is_some()) {
+        return Err(
+            "--fork-from is a batch mode; it excludes serve/--resume/--checkpoint-every".into(),
+        );
+    }
+    if args.replay.is_some() && (args.listen.is_some() || args.rate.is_some()) {
+        return Err("--replay is scripted; it excludes --listen/--rate".into());
     }
     Ok(args)
 }
@@ -230,13 +324,11 @@ fn build_scheduler(args: &Args) -> Result<Box<dyn Scheduler>, String> {
         "random-per-device" => Box::new(BaselineScheduler::random_per_device(args.seed)),
         "fifo" => Box::new(BaselineScheduler::fifo()),
         "srsf" => Box::new(BaselineScheduler::srsf()),
-        other => return Err(format!("unknown scheduler {other:?}")),
+        other => return Err(format!(
+            "--scheduler: unknown value {other:?} (valid: venn|random|random-per-device|fifo|srsf)"
+        )),
     })
 }
-
-/// Checkpoints retained on disk: the newest, plus one fallback in case
-/// the newest is damaged (e.g. a torn write on a dying filesystem).
-const CHECKPOINTS_KEPT: usize = 2;
 
 /// Checkpoint files in `dir` as `(sim_time_ms, path)`, unsorted.
 fn list_checkpoints(dir: &str) -> Result<Vec<(u64, std::path::PathBuf)>, String> {
@@ -261,8 +353,15 @@ fn list_checkpoints(dir: &str) -> Result<Vec<(u64, std::path::PathBuf)>, String>
 
 /// Atomically writes one checkpoint (tmp + rename, so a crash mid-write
 /// never leaves a half-written file under the checkpoint name) and prunes
-/// all but the newest [`CHECKPOINTS_KEPT`].
-fn write_checkpoint(dir: &str, world: &World<'_>, scheduler: &dyn Scheduler) -> Result<(), String> {
+/// all but the newest `keep` (`--checkpoint-keep`, default 2: the newest
+/// plus one fallback in case the newest is damaged, e.g. a torn write on
+/// a dying filesystem).
+fn write_checkpoint(
+    dir: &str,
+    world: &World,
+    scheduler: &dyn Scheduler,
+    keep: usize,
+) -> Result<(), String> {
     let bytes =
         venn_sim::snapshot_world(world, scheduler).map_err(|e| format!("checkpoint: {e}"))?;
     let path = format!("{dir}/ckpt-{:016}.vsnp", world.now());
@@ -271,25 +370,25 @@ fn write_checkpoint(dir: &str, world: &World<'_>, scheduler: &dyn Scheduler) -> 
     std::fs::rename(&tmp, &path).map_err(|e| format!("{path}: {e}"))?;
     let mut ckpts = list_checkpoints(dir)?;
     ckpts.sort();
-    for (_, stale) in ckpts.iter().rev().skip(CHECKPOINTS_KEPT) {
+    for (_, stale) in ckpts.iter().rev().skip(keep) {
         let _ = std::fs::remove_file(stale);
     }
     Ok(())
 }
 
 /// A run's live state: the world plus the scheduler driving it.
-type LiveRun<'w> = (World<'w>, Box<dyn Scheduler>);
+type LiveRun = (World, Box<dyn Scheduler>);
 
 /// Resumes from the newest usable checkpoint in `dir`, degrading
 /// gracefully: an unreadable, truncated, corrupt, or mismatched-run file
 /// is reported and the next-newest tried. Returns `None` (fresh start)
 /// when no checkpoint survives triage.
-fn resume_from_dir<'w>(
+fn resume_from_dir(
     args: &Args,
     dir: &str,
     config: SimConfig,
-    workload: &'w Workload,
-) -> Result<Option<LiveRun<'w>>, String> {
+    workload: &Workload,
+) -> Result<Option<LiveRun>, String> {
     let mut ckpts = list_checkpoints(dir)?;
     ckpts.sort();
     for (time, path) in ckpts.iter().rev() {
@@ -351,12 +450,72 @@ fn run_checkpointed(
     while world.step(&mut *scheduler, &mut []) {
         if let (Some(every), Some(at)) = (args.checkpoint_every, next_checkpoint) {
             if world.now() >= at {
-                write_checkpoint(dir, &world, &*scheduler)?;
+                write_checkpoint(dir, &world, &*scheduler, args.checkpoint_keep)?;
                 next_checkpoint = Some(world.now().saturating_add(every));
             }
         }
     }
     Ok(world.finish(&mut []))
+}
+
+/// The what-if batch mode: restore a snapshot under a fresh
+/// `--scheduler` arm (which may differ from the arm that wrote it) and
+/// run the remainder of the simulation to completion. Byte-identical to
+/// the same fork executed inside a live `serve` session, because both go
+/// through [`venn_sim::fork_world`].
+fn run_forked(
+    args: &Args,
+    path: &str,
+    config: SimConfig,
+    workload: &Workload,
+) -> Result<SimResult, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut scheduler = build_scheduler(args)?;
+    let mut world = venn_sim::fork_world(&bytes, config, workload, &mut *scheduler)
+        .map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "forked from {path} at sim time {:.1} h under scheduler {}",
+        world.now() as f64 / 3_600_000.0,
+        scheduler.name()
+    );
+    while world.step(&mut *scheduler, &mut []) {}
+    Ok(world.finish(&mut []))
+}
+
+/// `vennsim serve`: the online session. Commands in (stdin, a replay
+/// file, or one TCP connection), responses out, optional journal.
+fn run_serve(args: &Args, config: SimConfig, workload: &Workload) -> Result<(), String> {
+    let spec = venn_serve::SchedSpec {
+        name: args.scheduler.clone(),
+        epsilon: args.epsilon,
+        tiers: args.tiers,
+        seed: args.seed,
+    };
+    let mut session = venn_serve::ServeSession::new(config, spec, workload)?;
+    if let Some(path) = &args.replay {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let stdout = std::io::stdout();
+        let mut out: Box<dyn std::io::Write> = Box::new(stdout.lock());
+        let mut journal: Option<Box<dyn std::io::Write>> = match &args.journal {
+            Some(p) => Some(Box::new(
+                std::fs::File::create(p).map_err(|e| format!("{p}: {e}"))?,
+            )),
+            None => None,
+        };
+        return venn_serve::run_lines(
+            &mut session,
+            text.lines().map(|l| Ok(l.to_string())),
+            &mut out,
+            &mut journal,
+        )
+        .map_err(|e| e.to_string());
+    }
+    let opts = venn_serve::ServeOpts {
+        journal: args.journal.clone(),
+        rate: args.rate,
+        listen: args.listen.clone(),
+    };
+    venn_serve::serve(&mut session, &opts).map_err(|e| e.to_string())
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -395,11 +554,19 @@ fn run(args: &Args) -> Result<(), String> {
         env: args.env.config(),
         ..SimConfig::default()
     };
-    let result = match &args.checkpoint_dir {
-        Some(dir) => run_checkpointed(args, dir, config, &workload)?,
-        None => {
-            let mut scheduler = build_scheduler(args)?;
-            Simulation::new(config).run(&workload, &mut *scheduler)
+    if args.serve {
+        return run_serve(args, config, &workload);
+    }
+
+    let result = if let Some(path) = &args.fork_from {
+        run_forked(args, path, config, &workload)?
+    } else {
+        match &args.checkpoint_dir {
+            Some(dir) => run_checkpointed(args, dir, config, &workload)?,
+            None => {
+                let mut scheduler = build_scheduler(args)?;
+                Simulation::new(config).run(&workload, &mut *scheduler)
+            }
         }
     };
     let b = result.breakdown();
@@ -465,14 +632,17 @@ fn main() -> ExitCode {
                 eprintln!("error: {e}\n");
             }
             eprintln!(
-                "usage: vennsim [--scheduler venn|random|fifo|srsf] [--jobs N] \
+                "usage: vennsim [serve] [--scheduler venn|random|random-per-device|fifo|srsf] \
+                 [--jobs N] \
                  [--population N] [--days N] [--seed N] [--workload even|small|large|low|high] \
                  [--bias general|compute|memory|resource] [--epsilon F] [--tiers N] \
                  [--async] [--overcommit F] [--queue wheel|heap] [--no-gating] [--shards N] \
                  [--pop eager|split-eager|lazy] \
                  [--env off|flash-crowd|straggler-heavy|mass-dropout|chaos] \
                  [--load FILE.tsv] [--save FILE.tsv] [--csv] \
-                 [--checkpoint-every SIM_MS] [--checkpoint-dir DIR] [--resume]"
+                 [--checkpoint-every SIM_MS] [--checkpoint-dir DIR] [--checkpoint-keep N] \
+                 [--resume] [--fork-from FILE.vsnp] \
+                 [--journal FILE] [--replay FILE] [--listen ADDR] [--rate F]"
             );
             if e == "help" {
                 ExitCode::SUCCESS

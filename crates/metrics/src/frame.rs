@@ -1,0 +1,73 @@
+//! One incremental snapshot of a live run's observable state — the unit
+//! the online control plane streams to metric subscribers.
+//!
+//! A [`MetricsFrame`] is a pure value: plain counters and percentiles
+//! captured at one virtual-time instant, with no references into the
+//! world that produced it. Frames are built by the simulation kernel
+//! (`World::metrics_frame`) and serialized by the serving layer; keeping
+//! the struct here, in the dependency-free metrics crate, lets offline
+//! tooling consume recorded frame streams without linking the kernel.
+
+/// Point-in-time metrics of a running simulation.
+///
+/// All fields are deterministic functions of the run state, so a frame
+/// captured at the same virtual time in a journal replay is identical to
+/// the live one — frames are part of the serving layer's byte-identical
+/// replay surface. Percentiles are `None` until at least one job has
+/// finished.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsFrame {
+    /// Virtual time of the capture, in simulated milliseconds.
+    pub vt_ms: u64,
+    /// Events dispatched since the run began.
+    pub events: u64,
+    /// Assignments made since the run began.
+    pub assignments: u64,
+    /// Failed assignments (devices departed mid-computation).
+    pub failures: u64,
+    /// Rounds aborted (deadline misses and abort storms).
+    pub aborted_rounds: u64,
+    /// Total jobs known to the run (static plans plus live submissions).
+    pub jobs: u64,
+    /// Jobs that have completed all rounds.
+    pub jobs_finished: u64,
+    /// Jobs currently computing a round.
+    pub jobs_running: u64,
+    /// Jobs with an outstanding allocation request.
+    pub jobs_allocating: u64,
+    /// Devices currently inside an availability session.
+    pub live_devices: u64,
+    /// Devices currently held for an allocating round.
+    pub held_devices: u64,
+    /// Demand-gated polls currently parked.
+    pub parked_polls: u64,
+    /// Pending events in the queue.
+    pub queue_len: u64,
+    /// Median completion time over finished jobs, ms.
+    pub jct_p50_ms: Option<u64>,
+    /// 90th-percentile completion time over finished jobs, ms.
+    pub jct_p90_ms: Option<u64>,
+    /// 99th-percentile completion time over finished jobs, ms.
+    pub jct_p99_ms: Option<u64>,
+    /// Environment: mid-round participant dropouts so far.
+    pub env_dropouts: u64,
+    /// Environment: devices forced offline by faults so far.
+    pub env_forced_offline: u64,
+    /// Environment: abort-storm strikes so far.
+    pub env_storm_aborts: u64,
+    /// Environment: round retries attributed to the environment so far.
+    pub env_retries: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_frame_is_zeroed() {
+        let f = MetricsFrame::default();
+        assert_eq!(f.vt_ms, 0);
+        assert_eq!(f.jobs, 0);
+        assert_eq!(f.jct_p50_ms, None);
+    }
+}

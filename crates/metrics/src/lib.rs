@@ -30,6 +30,7 @@
 pub mod alloc;
 pub mod csv;
 pub mod env;
+pub mod frame;
 pub mod histogram;
 pub mod jct;
 pub mod samples;
@@ -38,6 +39,7 @@ pub mod table;
 pub mod welford;
 
 pub use env::EnvStats;
+pub use frame::MetricsFrame;
 pub use histogram::Histogram;
 pub use jct::{JctBreakdown, JctRecord};
 pub use samples::Samples;

@@ -1,0 +1,157 @@
+//! Drivers that feed a [`ServeSession`] from the outside world.
+//!
+//! Three input modes, one code path:
+//!
+//! * **scripted** — lines arrive from stdin (or a replay file) and
+//!   virtual time moves only on explicit `advance` commands. Fully
+//!   deterministic; this is the mode CI exercises.
+//! * **paced** (`--rate R`) — a reader thread feeds stdin lines through
+//!   a channel; whenever the channel is quiet the driver materializes
+//!   the elapsed wall-clock time as a synthetic `advance` command at
+//!   `R` virtual ms per wall ms. Because the synthetic advances go
+//!   through [`ServeSession::apply_line`] like any typed command, they
+//!   are journaled, and the journal replays deterministically even
+//!   though the live session was wall-clock paced.
+//! * **TCP** (`--listen ADDR`) — same scripted loop over a single
+//!   accepted connection instead of stdio.
+//!
+//! All modes append accepted commands to the session journal (when one
+//! is configured) and stream responses line-by-line.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use crate::session::ServeSession;
+
+/// Driver configuration, independent of where the world came from.
+#[derive(Debug, Default)]
+pub struct ServeOpts {
+    /// Append accepted commands (canonical form) to this file.
+    pub journal: Option<String>,
+    /// Virtual ms per wall-clock ms; `None` = scripted (explicit
+    /// `advance` only).
+    pub rate: Option<f64>,
+    /// Bind address for a single-connection TCP session instead of
+    /// stdio.
+    pub listen: Option<String>,
+}
+
+/// How often the paced driver wakes up to convert wall time into
+/// virtual time when no commands are arriving.
+const PACE_TICK: Duration = Duration::from_millis(100);
+
+/// Feeds `lines` through the session, writing every response line to
+/// `out` and every accepted command's canonical form to `journal`.
+/// Returns when the input ends or the session quits. This is the whole
+/// protocol loop — the scripted, paced, and TCP drivers all bottom out
+/// here or in [`apply_and_emit`].
+pub fn run_lines<I>(
+    session: &mut ServeSession,
+    lines: I,
+    out: &mut dyn Write,
+    journal: &mut Option<Box<dyn Write>>,
+) -> io::Result<()>
+where
+    I: IntoIterator<Item = io::Result<String>>,
+{
+    for line in lines {
+        if apply_and_emit(session, &line?, out, journal)? {
+            break;
+        }
+    }
+    out.flush()
+}
+
+/// Applies one line and emits its responses/journal entry. Returns
+/// `true` when the session quit.
+fn apply_and_emit(
+    session: &mut ServeSession,
+    line: &str,
+    out: &mut dyn Write,
+    journal: &mut Option<Box<dyn Write>>,
+) -> io::Result<bool> {
+    let outcome = session.apply_line(line);
+    for resp in &outcome.responses {
+        writeln!(out, "{resp}")?;
+    }
+    out.flush()?;
+    if let (Some(j), Some(entry)) = (journal.as_mut(), &outcome.journal) {
+        writeln!(j, "{entry}")?;
+    }
+    Ok(outcome.quit)
+}
+
+/// Runs the session against stdin/stdout (or TCP when configured),
+/// scripted or wall-clock paced per `opts`.
+pub fn serve(session: &mut ServeSession, opts: &ServeOpts) -> io::Result<()> {
+    let mut journal: Option<Box<dyn Write>> = match &opts.journal {
+        Some(path) => Some(Box::new(std::fs::File::create(path)?)),
+        None => None,
+    };
+    if let Some(addr) = &opts.listen {
+        let listener = TcpListener::bind(addr)?;
+        eprintln!("vennsim serve: listening on {}", listener.local_addr()?);
+        let (stream, peer) = listener.accept()?;
+        eprintln!("vennsim serve: session from {peer}");
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut out: Box<dyn Write> = Box::new(stream);
+        return run_lines(session, reader.lines(), &mut out, &mut journal);
+    }
+    let stdout = io::stdout();
+    let mut out: Box<dyn Write> = Box::new(stdout.lock());
+    match opts.rate {
+        None => {
+            let stdin = io::stdin();
+            run_lines(session, stdin.lock().lines(), &mut out, &mut journal)
+        }
+        Some(rate) => serve_paced(session, rate, &mut out, &mut journal),
+    }
+}
+
+/// The wall-clock paced loop: stdin lines interleave with synthetic
+/// `advance` commands derived from elapsed wall time.
+fn serve_paced(
+    session: &mut ServeSession,
+    rate: f64,
+    out: &mut dyn Write,
+    journal: &mut Option<Box<dyn Write>>,
+) -> io::Result<()> {
+    let (tx, rx) = mpsc::channel::<io::Result<String>>();
+    std::thread::spawn(move || {
+        let stdin = io::stdin();
+        for line in stdin.lock().lines() {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    // Wall time owed but not yet converted to virtual time; advances
+    // are whole virtual milliseconds, the remainder carries over.
+    let mut last_tick = Instant::now();
+    let mut carry_ms = 0.0_f64;
+    loop {
+        match rx.recv_timeout(PACE_TICK) {
+            Ok(line) => {
+                if apply_and_emit(session, &line?, out, journal)? {
+                    return out.flush();
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                let now = Instant::now();
+                carry_ms += now.duration_since(last_tick).as_secs_f64() * 1_000.0 * rate;
+                last_tick = now;
+                let whole = carry_ms.floor();
+                if whole >= 1.0 {
+                    carry_ms -= whole;
+                    let cmd = format!("{{\"cmd\":\"advance\",\"ms\":{}}}", whole as u64);
+                    if apply_and_emit(session, &cmd, out, journal)? {
+                        return out.flush();
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return out.flush(),
+        }
+    }
+}

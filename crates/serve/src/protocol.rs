@@ -1,0 +1,462 @@
+//! The serve command protocol: typed commands, typed errors, and the
+//! canonical journal form.
+//!
+//! # Grammar
+//!
+//! One JSON object per line, dispatched on its `"cmd"` field:
+//!
+//! ```text
+//! {"cmd":"submit","category":"general|compute|memory|resource",
+//!  "rounds":N,"demand":N,"task_ms":N[,"arrival_ms":VT]}
+//! {"cmd":"withdraw","job":N}
+//! {"cmd":"query-job","job":N}
+//! {"cmd":"stats"}
+//! {"cmd":"advance","ms":N}
+//! {"cmd":"subscribe","every_ms":N}
+//! {"cmd":"unsubscribe"}
+//! {"cmd":"checkpoint","path":"FILE.vsnp"}
+//! {"cmd":"save-workload","path":"FILE.tsv"}
+//! {"cmd":"fork","scheduler":"venn|random|random-per-device|fifo|srsf"
+//!  [,"epsilon":F][,"tiers":N][,"csv":"FILE.csv"]}
+//! {"cmd":"quit"}
+//! ```
+//!
+//! A command may carry a `"vt"` field (ignored on parse): journal lines
+//! are commands re-serialized in **canonical form** — `vt` first, then
+//! `cmd`, then arguments in the fixed order above, compact, no
+//! whitespace — so a journal replayed through the same session code
+//! regenerates itself byte for byte.
+
+use venn_core::SpecCategory;
+
+use crate::json::{obj, parse, Value};
+
+/// Why a command line was rejected. The code string is part of the wire
+/// protocol (`error.code`); the message is free-form diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmdError {
+    /// Stable machine-readable code.
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub msg: String,
+}
+
+impl CmdError {
+    /// Unparseable JSON.
+    pub fn bad_json(msg: impl Into<String>) -> Self {
+        CmdError {
+            code: "bad-json",
+            msg: msg.into(),
+        }
+    }
+
+    /// Well-formed JSON, unknown `cmd`.
+    pub fn unknown_cmd(msg: impl Into<String>) -> Self {
+        CmdError {
+            code: "unknown-cmd",
+            msg: msg.into(),
+        }
+    }
+
+    /// Well-formed command, malformed argument (missing, wrong type,
+    /// negative where a count is needed, unknown enum value).
+    pub fn bad_arg(msg: impl Into<String>) -> Self {
+        CmdError {
+            code: "bad-arg",
+            msg: msg.into(),
+        }
+    }
+
+    /// The referenced job does not exist or is already terminal.
+    pub fn unknown_job(msg: impl Into<String>) -> Self {
+        CmdError {
+            code: "unknown-job",
+            msg: msg.into(),
+        }
+    }
+
+    /// A time argument lands before the current virtual time.
+    pub fn past_time(msg: impl Into<String>) -> Self {
+        CmdError {
+            code: "past-time",
+            msg: msg.into(),
+        }
+    }
+
+    /// A command arrived after `quit`.
+    pub fn after_quit() -> Self {
+        CmdError {
+            code: "after-quit",
+            msg: "session already quit".into(),
+        }
+    }
+
+    /// A filesystem side effect failed.
+    pub fn io(msg: impl Into<String>) -> Self {
+        CmdError {
+            code: "io",
+            msg: msg.into(),
+        }
+    }
+
+    /// Snapshot capture or restore failed.
+    pub fn snapshot(msg: impl Into<String>) -> Self {
+        CmdError {
+            code: "snapshot",
+            msg: msg.into(),
+        }
+    }
+
+    /// The error as a one-line JSON response.
+    pub fn to_response(&self, vt: u64) -> String {
+        obj(vec![
+            ("vt", Value::Int(vt as i64)),
+            ("ok", Value::Bool(false)),
+            (
+                "error",
+                obj(vec![
+                    ("code", Value::Str(self.code.into())),
+                    ("msg", Value::Str(self.msg.clone())),
+                ]),
+            ),
+        ])
+        .to_json()
+    }
+}
+
+/// A parsed, validated protocol command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Submit a job mid-run. `arrival_ms` is absolute virtual time;
+    /// `None` means "now".
+    Submit {
+        category: SpecCategory,
+        rounds: u32,
+        demand: u32,
+        task_ms: u64,
+        arrival_ms: Option<u64>,
+    },
+    /// Withdraw a live job.
+    Withdraw { job: usize },
+    /// Query one job's runtime state.
+    QueryJob { job: usize },
+    /// Capture a metrics frame.
+    Stats,
+    /// Advance virtual time by `ms`, dispatching due events.
+    Advance { ms: u64 },
+    /// Stream a metrics frame every `every_ms` of virtual time.
+    Subscribe { every_ms: u64 },
+    /// Stop streaming frames.
+    Unsubscribe,
+    /// Write a sealed checkpoint of the live world.
+    Checkpoint { path: String },
+    /// Write the session's current workload (including live submissions)
+    /// as TSV — what an offline run needs to resume or fork this session.
+    SaveWorkload { path: String },
+    /// What-if fork: snapshot the live world, run it to completion under
+    /// this scheduler arm AND under the current one, report the diff.
+    Fork {
+        scheduler: String,
+        epsilon: f64,
+        tiers: usize,
+        csv: Option<String>,
+    },
+    /// End the session.
+    Quit,
+}
+
+fn category_of(name: &str) -> Option<SpecCategory> {
+    Some(match name {
+        "general" => SpecCategory::General,
+        "compute" => SpecCategory::ComputeRich,
+        "memory" => SpecCategory::MemoryRich,
+        "resource" => SpecCategory::HighPerf,
+        _ => return None,
+    })
+}
+
+fn category_name(c: SpecCategory) -> &'static str {
+    match c {
+        SpecCategory::General => "general",
+        SpecCategory::ComputeRich => "compute",
+        SpecCategory::MemoryRich => "memory",
+        SpecCategory::HighPerf => "resource",
+    }
+}
+
+/// Extracts a required non-negative integer field, with `past-time` for
+/// negative time-like fields and `bad-arg` for everything else wrong.
+fn req_u64(v: &Value, key: &str, time_like: bool) -> Result<u64, CmdError> {
+    match v.get(key) {
+        None => Err(CmdError::bad_arg(format!("missing {key:?}"))),
+        Some(f) => match f.as_u64() {
+            Some(n) => Ok(n),
+            None => match (time_like, f.as_i64()) {
+                (true, Some(n)) if n < 0 => {
+                    Err(CmdError::past_time(format!("{key} {n} is negative")))
+                }
+                _ => Err(CmdError::bad_arg(format!(
+                    "{key} must be a non-negative integer, got {}",
+                    f.to_json()
+                ))),
+            },
+        },
+    }
+}
+
+fn req_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, CmdError> {
+    v.get(key)
+        .ok_or_else(|| CmdError::bad_arg(format!("missing {key:?}")))?
+        .as_str()
+        .ok_or_else(|| CmdError::bad_arg(format!("{key} must be a string")))
+}
+
+impl Command {
+    /// Parses one protocol line. A `"vt"` field is tolerated (journals
+    /// carry it) but not interpreted here — the session checks it.
+    pub fn parse_line(line: &str) -> Result<Command, CmdError> {
+        let v = parse(line).map_err(CmdError::bad_json)?;
+        if !matches!(v, Value::Object(_)) {
+            return Err(CmdError::bad_json("command must be a JSON object"));
+        }
+        let cmd = req_str(&v, "cmd")
+            .map_err(|_| CmdError::unknown_cmd("missing \"cmd\" field"))?
+            .to_string();
+        match cmd.as_str() {
+            "submit" => {
+                let category = req_str(&v, "category").and_then(|name| {
+                    category_of(name).ok_or_else(|| {
+                        CmdError::bad_arg(format!(
+                            "unknown category {name:?} (expected general|compute|memory|resource)"
+                        ))
+                    })
+                })?;
+                let rounds = req_u64(&v, "rounds", false)?;
+                let demand = req_u64(&v, "demand", false)?;
+                let task_ms = req_u64(&v, "task_ms", false)?;
+                if rounds == 0 || rounds > u32::MAX as u64 {
+                    return Err(CmdError::bad_arg(format!("rounds {rounds} out of range")));
+                }
+                if demand == 0 || demand > u32::MAX as u64 {
+                    return Err(CmdError::bad_arg(format!("demand {demand} out of range")));
+                }
+                if task_ms == 0 {
+                    return Err(CmdError::bad_arg("task_ms must be positive"));
+                }
+                let arrival_ms = match v.get("arrival_ms") {
+                    None => None,
+                    Some(_) => Some(req_u64(&v, "arrival_ms", true)?),
+                };
+                Ok(Command::Submit {
+                    category,
+                    rounds: rounds as u32,
+                    demand: demand as u32,
+                    task_ms,
+                    arrival_ms,
+                })
+            }
+            "withdraw" => Ok(Command::Withdraw {
+                job: req_u64(&v, "job", false)? as usize,
+            }),
+            "query-job" => Ok(Command::QueryJob {
+                job: req_u64(&v, "job", false)? as usize,
+            }),
+            "stats" => Ok(Command::Stats),
+            "advance" => {
+                let ms = req_u64(&v, "ms", true)?;
+                Ok(Command::Advance { ms })
+            }
+            "subscribe" => {
+                let every_ms = req_u64(&v, "every_ms", false)?;
+                if every_ms == 0 {
+                    return Err(CmdError::bad_arg("every_ms must be positive"));
+                }
+                Ok(Command::Subscribe { every_ms })
+            }
+            "unsubscribe" => Ok(Command::Unsubscribe),
+            "checkpoint" => Ok(Command::Checkpoint {
+                path: req_str(&v, "path")?.to_string(),
+            }),
+            "save-workload" => Ok(Command::SaveWorkload {
+                path: req_str(&v, "path")?.to_string(),
+            }),
+            "fork" => {
+                let scheduler = req_str(&v, "scheduler")?.to_string();
+                let epsilon = match v.get("epsilon") {
+                    None => 0.0,
+                    Some(f) => f
+                        .as_f64()
+                        .ok_or_else(|| CmdError::bad_arg("epsilon must be a number"))?,
+                };
+                let tiers = match v.get("tiers") {
+                    None => 3,
+                    Some(_) => req_u64(&v, "tiers", false)? as usize,
+                };
+                let csv = match v.get("csv") {
+                    None => None,
+                    Some(_) => Some(req_str(&v, "csv")?.to_string()),
+                };
+                Ok(Command::Fork {
+                    scheduler,
+                    epsilon,
+                    tiers,
+                    csv,
+                })
+            }
+            "quit" => Ok(Command::Quit),
+            other => Err(CmdError::unknown_cmd(format!("unknown cmd {other:?}"))),
+        }
+    }
+
+    /// The journal vt-check: the `"vt"` stamp a journal line carries, if
+    /// any. Live input has none; replayed journals always do.
+    pub fn stamped_vt(line: &str) -> Option<u64> {
+        parse(line).ok()?.get("vt")?.as_u64()
+    }
+
+    /// Canonical journal form: `vt` first, then `cmd`, then arguments in
+    /// the grammar's order, compact. Re-serializing a parsed journal line
+    /// reproduces it exactly.
+    pub fn canonical(&self, vt: u64) -> String {
+        let mut fields: Vec<(&str, Value)> = vec![("vt", Value::Int(vt as i64))];
+        match self {
+            Command::Submit {
+                category,
+                rounds,
+                demand,
+                task_ms,
+                arrival_ms,
+            } => {
+                fields.push(("cmd", Value::Str("submit".into())));
+                fields.push(("category", Value::Str(category_name(*category).into())));
+                fields.push(("rounds", Value::Int(*rounds as i64)));
+                fields.push(("demand", Value::Int(*demand as i64)));
+                fields.push(("task_ms", Value::Int(*task_ms as i64)));
+                if let Some(at) = arrival_ms {
+                    fields.push(("arrival_ms", Value::Int(*at as i64)));
+                }
+            }
+            Command::Withdraw { job } => {
+                fields.push(("cmd", Value::Str("withdraw".into())));
+                fields.push(("job", Value::Int(*job as i64)));
+            }
+            Command::QueryJob { job } => {
+                fields.push(("cmd", Value::Str("query-job".into())));
+                fields.push(("job", Value::Int(*job as i64)));
+            }
+            Command::Stats => fields.push(("cmd", Value::Str("stats".into()))),
+            Command::Advance { ms } => {
+                fields.push(("cmd", Value::Str("advance".into())));
+                fields.push(("ms", Value::Int(*ms as i64)));
+            }
+            Command::Subscribe { every_ms } => {
+                fields.push(("cmd", Value::Str("subscribe".into())));
+                fields.push(("every_ms", Value::Int(*every_ms as i64)));
+            }
+            Command::Unsubscribe => fields.push(("cmd", Value::Str("unsubscribe".into()))),
+            Command::Checkpoint { path } => {
+                fields.push(("cmd", Value::Str("checkpoint".into())));
+                fields.push(("path", Value::Str(path.clone())));
+            }
+            Command::SaveWorkload { path } => {
+                fields.push(("cmd", Value::Str("save-workload".into())));
+                fields.push(("path", Value::Str(path.clone())));
+            }
+            Command::Fork {
+                scheduler,
+                epsilon,
+                tiers,
+                csv,
+            } => {
+                fields.push(("cmd", Value::Str("fork".into())));
+                fields.push(("scheduler", Value::Str(scheduler.clone())));
+                fields.push(("epsilon", Value::Float(*epsilon)));
+                fields.push(("tiers", Value::Int(*tiers as i64)));
+                if let Some(path) = csv {
+                    fields.push(("csv", Value::Str(path.clone())));
+                }
+            }
+            Command::Quit => fields.push(("cmd", Value::Str("quit".into()))),
+        }
+        obj(fields).to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_each_command() {
+        let cases = [
+            (
+                r#"{"cmd":"submit","category":"compute","rounds":3,"demand":5,"task_ms":1000}"#,
+                Command::Submit {
+                    category: SpecCategory::ComputeRich,
+                    rounds: 3,
+                    demand: 5,
+                    task_ms: 1000,
+                    arrival_ms: None,
+                },
+            ),
+            (
+                r#"{"cmd":"withdraw","job":2}"#,
+                Command::Withdraw { job: 2 },
+            ),
+            (r#"{"cmd":"stats"}"#, Command::Stats),
+            (
+                r#"{"cmd":"advance","ms":60000}"#,
+                Command::Advance { ms: 60_000 },
+            ),
+            (r#"{"cmd":"quit"}"#, Command::Quit),
+        ];
+        for (line, want) in cases {
+            assert_eq!(Command::parse_line(line).unwrap(), want, "{line}");
+        }
+    }
+
+    #[test]
+    fn canonical_form_is_a_fixed_point() {
+        // A journal line re-parsed and re-serialized at the same vt must
+        // reproduce itself — the property byte-identical replay rests on.
+        let lines = [
+            r#"{"vt":0,"cmd":"submit","category":"general","rounds":2,"demand":3,"task_ms":500,"arrival_ms":7}"#,
+            r#"{"vt":9,"cmd":"advance","ms":100}"#,
+            r#"{"vt":9,"cmd":"fork","scheduler":"fifo","epsilon":0.25,"tiers":3}"#,
+            r#"{"vt":3,"cmd":"save-workload","path":"w.tsv"}"#,
+        ];
+        for line in lines {
+            let vt = Command::stamped_vt(line).unwrap();
+            let cmd = Command::parse_line(line).unwrap();
+            assert_eq!(cmd.canonical(vt), line);
+        }
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_lines() {
+        let cases = [
+            ("{not json", "bad-json"),
+            ("[1,2]", "bad-json"),
+            (r#"{"cmd":"warp"}"#, "unknown-cmd"),
+            (r#"{"nocmd":1}"#, "unknown-cmd"),
+            (r#"{"cmd":"advance"}"#, "bad-arg"),
+            (r#"{"cmd":"advance","ms":-5}"#, "past-time"),
+            (r#"{"cmd":"advance","ms":1.5}"#, "bad-arg"),
+            (
+                r#"{"cmd":"submit","category":"quantum","rounds":1,"demand":1,"task_ms":1}"#,
+                "bad-arg",
+            ),
+            (
+                r#"{"cmd":"submit","category":"general","rounds":0,"demand":1,"task_ms":1}"#,
+                "bad-arg",
+            ),
+            (r#"{"cmd":"subscribe","every_ms":0}"#, "bad-arg"),
+            (r#"{"cmd":"withdraw"}"#, "bad-arg"),
+            (r#"{"cmd":"checkpoint"}"#, "bad-arg"),
+        ];
+        for (line, code) in cases {
+            let err = Command::parse_line(line).unwrap_err();
+            assert_eq!(err.code, code, "{line} -> {err:?}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Fork semantics: the what-if child a live session produces is exactly
+//! the run an offline `--fork-from` of the same checkpoint would
+//! produce — same snapshot bytes, same `fork_world` path, same CSV.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use venn_serve::{result_csv, SchedSpec, ServeSession};
+use venn_sim::{fork_world, SimConfig};
+use venn_traces::Workload;
+
+const SEED: u64 = 23;
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join(format!("venn-fork-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_str().unwrap().to_string()
+}
+
+#[test]
+fn session_fork_matches_offline_fork_of_same_checkpoint() {
+    let config = SimConfig {
+        population: 900,
+        days: 2,
+        seed: SEED,
+        ..SimConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let workload = Workload::default_scenario(6, &mut rng);
+    let spec = SchedSpec {
+        name: "venn".into(),
+        epsilon: 0.0,
+        tiers: 3,
+        seed: SEED,
+    };
+    let mut session = ServeSession::new(config, spec, &workload).unwrap();
+
+    // Mutate the run first so the fork starts from state no fresh run
+    // ever visits: a mid-run submission, then six simulated hours.
+    for line in [
+        r#"{"cmd":"submit","category":"memory","rounds":3,"demand":25,"task_ms":60000}"#
+            .to_string(),
+        r#"{"cmd":"advance","ms":21600000}"#.to_string(),
+    ] {
+        let out = session.apply_line(&line);
+        assert!(
+            out.responses[0].contains("\"ok\":true"),
+            "{:?}",
+            out.responses
+        );
+    }
+
+    // Checkpoint and fork at the same instant, with no mutation between.
+    let ckpt = tmp("mid.vsnp");
+    let csv = tmp("fork-alt.csv");
+    let out = session.apply_line(&format!("{{\"cmd\":\"checkpoint\",\"path\":{ckpt:?}}}"));
+    assert!(
+        out.responses[0].contains("\"ok\":true"),
+        "{:?}",
+        out.responses
+    );
+    let out = session.apply_line(&format!(
+        "{{\"cmd\":\"fork\",\"scheduler\":\"srsf\",\"csv\":{csv:?}}}"
+    ));
+    assert!(
+        out.responses[0].contains("\"ok\":true"),
+        "{:?}",
+        out.responses
+    );
+    let session_csv = std::fs::read_to_string(&csv).unwrap();
+
+    // Offline: restore the checkpoint under a fresh srsf arm — exactly
+    // what `vennsim --fork-from ckpt --scheduler srsf --csv` does — using
+    // the workload as the session knows it (including the submission).
+    let bytes = std::fs::read(&ckpt).unwrap();
+    let alt = SchedSpec {
+        name: "srsf".into(),
+        epsilon: 0.0,
+        tiers: 3,
+        seed: SEED,
+    };
+    let mut sched = alt.build().unwrap();
+    let mut world = fork_world(&bytes, config, session.world().workload(), &mut *sched).unwrap();
+    while world.step(&mut *sched, &mut []) {}
+    let offline_csv = result_csv(&world.finish(&mut []));
+
+    assert_eq!(
+        session_csv, offline_csv,
+        "fork CSV diverges from offline fork"
+    );
+
+    // The fork must not have perturbed the live session: its world still
+    // replays deterministically afterwards.
+    let out = session.apply_line(r#"{"cmd":"stats"}"#);
+    assert!(out.responses[0].contains("\"ok\":true"));
+}
+
+#[test]
+fn fork_refuses_mismatched_workload() {
+    // A snapshot is pinned to its (config, workload) pair; forking it
+    // against a different workload must fail loudly, not drift.
+    let config = SimConfig {
+        population: 300,
+        days: 1,
+        seed: SEED,
+        ..SimConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let workload = Workload::default_scenario(4, &mut rng);
+    let spec = SchedSpec {
+        name: "venn".into(),
+        epsilon: 0.0,
+        tiers: 3,
+        seed: SEED,
+    };
+    let mut session = ServeSession::new(config, spec.clone(), &workload).unwrap();
+    session.apply_line(r#"{"cmd":"advance","ms":3600000}"#);
+    let ckpt = tmp("pinned.vsnp");
+    let out = session.apply_line(&format!("{{\"cmd\":\"checkpoint\",\"path\":{ckpt:?}}}"));
+    assert!(out.responses[0].contains("\"ok\":true"));
+
+    let bytes = std::fs::read(&ckpt).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED + 1);
+    let other = Workload::default_scenario(4, &mut rng);
+    let mut sched = spec.build().unwrap();
+    let err = fork_world(&bytes, config, &other, &mut *sched).unwrap_err();
+    assert!(
+        err.to_string().contains("fingerprint"),
+        "expected fingerprint mismatch, got: {err}"
+    );
+}

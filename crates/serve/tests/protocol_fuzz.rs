@@ -1,0 +1,177 @@
+//! Malformed, hostile, and out-of-order input never panics the session:
+//! every failure mode is a typed error response with a stable code.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use venn_serve::{SchedSpec, ServeSession};
+use venn_sim::SimConfig;
+use venn_traces::Workload;
+
+fn session() -> ServeSession {
+    let config = SimConfig {
+        population: 200,
+        days: 1,
+        seed: 3,
+        ..SimConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(3);
+    let workload = Workload::default_scenario(4, &mut rng);
+    let spec = SchedSpec {
+        name: "venn".into(),
+        epsilon: 0.0,
+        tiers: 3,
+        seed: 3,
+    };
+    ServeSession::new(config, spec, &workload).unwrap()
+}
+
+/// Extracts `"code":"..."` from an error response line.
+fn error_code(resp: &str) -> Option<&str> {
+    let at = resp.find("\"code\":\"")? + 8;
+    resp[at..].split('"').next()
+}
+
+#[test]
+fn typed_errors_for_out_of_order_commands() {
+    let mut s = session();
+    let cases: &[(&str, &str)] = &[
+        ("not json at all", "bad-json"),
+        ("{\"cmd\":\"advance\"}", "bad-arg"),
+        ("{\"cmd\":\"advance\",\"ms\":-5}", "past-time"),
+        ("{\"cmd\":\"frobnicate\"}", "unknown-cmd"),
+        ("{\"cmd\":\"withdraw\",\"job\":999999}", "unknown-job"),
+        ("{\"cmd\":\"query-job\",\"job\":999999}", "unknown-job"),
+        ("{\"cmd\":\"submit\",\"category\":\"general\"}", "bad-arg"),
+        (
+            "{\"cmd\":\"submit\",\"category\":\"quantum\",\"rounds\":1,\"demand\":1,\"task_ms\":1}",
+            "bad-arg",
+        ),
+        (
+            "{\"cmd\":\"submit\",\"category\":\"general\",\"rounds\":0,\"demand\":1,\"task_ms\":1}",
+            "bad-arg",
+        ),
+        ("{\"cmd\":\"fork\",\"scheduler\":\"nope\"}", "bad-arg"),
+        ("{\"cmd\":\"subscribe\",\"every_ms\":0}", "bad-arg"),
+        ("[1,2,3]", "bad-json"),
+        ("{\"no_cmd\":true}", "unknown-cmd"),
+    ];
+    for (line, want) in cases {
+        let out = s.apply_line(line);
+        assert_eq!(out.responses.len(), 1, "one response for {line:?}");
+        let resp = &out.responses[0];
+        assert!(resp.contains("\"ok\":false"), "{line:?} -> {resp}");
+        assert_eq!(error_code(resp), Some(*want), "{line:?} -> {resp}");
+        assert!(
+            out.journal.is_none(),
+            "rejected command journaled: {line:?}"
+        );
+        assert!(!out.quit);
+    }
+    // Submitting a job whose arrival predates the current virtual time
+    // is a past-time error once the clock has moved.
+    assert!(s
+        .apply_line("{\"cmd\":\"advance\",\"ms\":1000}")
+        .journal
+        .is_some());
+    let out = s.apply_line(
+        "{\"cmd\":\"submit\",\"category\":\"general\",\"rounds\":1,\"demand\":1,\"task_ms\":1,\"arrival_ms\":10}",
+    );
+    assert_eq!(error_code(&out.responses[0]), Some("past-time"));
+}
+
+#[test]
+fn commands_after_quit_are_rejected() {
+    let mut s = session();
+    let out = s.apply_line("{\"cmd\":\"quit\"}");
+    assert!(out.quit);
+    assert!(out.journal.is_some());
+    for line in [
+        "{\"cmd\":\"stats\"}",
+        "{\"cmd\":\"advance\",\"ms\":1}",
+        "junk",
+    ] {
+        let out = s.apply_line(line);
+        assert_eq!(error_code(&out.responses[0]), Some("after-quit"));
+        assert!(out.journal.is_none());
+    }
+}
+
+#[test]
+fn vt_stamp_mismatch_is_detected() {
+    let mut s = session();
+    // A journal line stamped at a vt the session is not at.
+    let out = s.apply_line("{\"vt\":123,\"cmd\":\"stats\"}");
+    assert_eq!(error_code(&out.responses[0]), Some("vt-mismatch"));
+    // The right stamp applies cleanly.
+    let out = s.apply_line("{\"vt\":0,\"cmd\":\"stats\"}");
+    assert!(out.responses[0].contains("\"ok\":true"));
+}
+
+proptest! {
+    /// Arbitrary byte soup: no panic, at most one response (blank lines
+    /// get none), and every response is a JSON line carrying `vt`.
+    #[test]
+    fn arbitrary_lines_never_panic(bytes in proptest::collection::vec(0u8..255, 0..200)) {
+        let line = String::from_utf8_lossy(&bytes).into_owned();
+        let mut s = session();
+        let out = s.apply_line(&line);
+        prop_assert!(out.responses.len() <= 1);
+        for resp in &out.responses {
+            prop_assert!(resp.starts_with('{'), "response is JSON: {}", resp);
+            prop_assert!(resp.contains("\"vt\":"));
+        }
+    }
+
+    /// Structured garbage aimed at the command grammar: real command
+    /// names paired with wrong/missing arguments and extreme numbers.
+    /// Still no panics, and every response is a single JSON line.
+    #[test]
+    fn grammar_shaped_garbage_never_panics(
+        cmd_sel in 0usize..12,
+        key_sel in 0usize..6,
+        num in -(1i64 << 61)..(1i64 << 61),
+    ) {
+        let cmds = [
+            "submit", "withdraw", "advance", "stats", "fork", "quit", "subscribe",
+            "query-job", "checkpoint", "save-workload", "unsubscribe", "zzz",
+        ];
+        let keys = ["ms", "job", "rounds", "every_ms", "vt", "x"];
+        let mut s = session();
+        let line = format!("{{\"cmd\":\"{}\",\"{}\":{}}}", cmds[cmd_sel], keys[key_sel], num);
+        let out = s.apply_line(&line);
+        prop_assert_eq!(out.responses.len(), 1);
+        let resp = &out.responses[0];
+        prop_assert!(resp.contains("\"ok\":"), "{}", resp);
+    }
+
+    /// Valid commands with randomized numeric arguments: either accepted
+    /// (and journaled) or rejected with a typed code — never a panic,
+    /// never an untyped failure.
+    #[test]
+    fn randomized_valid_commands(
+        ms in -(1i64 << 61)..(1i64 << 61),
+        job in 0usize..16,
+        rounds in 0u32..1_000,
+    ) {
+        let mut s = session();
+        for line in [
+            format!("{{\"cmd\":\"advance\",\"ms\":{ms}}}"),
+            format!("{{\"cmd\":\"withdraw\",\"job\":{job}}}"),
+            format!(
+                "{{\"cmd\":\"submit\",\"category\":\"memory\",\"rounds\":{rounds},\"demand\":1,\"task_ms\":1000}}"
+            ),
+        ] {
+            let out = s.apply_line(&line);
+            prop_assert_eq!(out.responses.len(), 1);
+            let resp = &out.responses[0];
+            if resp.contains("\"ok\":true") {
+                prop_assert!(out.journal.is_some(), "accepted but not journaled: {}", line);
+            } else {
+                prop_assert!(error_code(resp).is_some(), "untyped error: {}", resp);
+                prop_assert!(out.journal.is_none());
+            }
+        }
+    }
+}

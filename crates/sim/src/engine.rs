@@ -74,7 +74,7 @@ impl Simulation {
 
     /// Builds the initial [`World`] without running it — for callers that
     /// want to drive the event loop step by step.
-    pub fn world<'w>(&self, workload: &'w Workload, scheduler_name: &str) -> World<'w> {
+    pub fn world(&self, workload: &Workload, scheduler_name: &str) -> World {
         World::new(self.config, workload, scheduler_name)
     }
 }

@@ -336,6 +336,44 @@ impl TimingWheel {
         }
     }
 
+    /// Key `(time, seq)` of the earliest pending event, without touching
+    /// the cursor or any slot — the non-destructive lookahead behind
+    /// bounded draining ([`World::run_until`](crate::World::run_until)).
+    ///
+    /// The tier invariants make this cheap: the drain buffer (if
+    /// non-empty) is earliest by construction; otherwise every tier-0
+    /// slot past the cursor's digit holds exactly one timestamp, each
+    /// strictly earlier than anything in tier 1+, and within a tier the
+    /// first occupied slot strictly precedes later ones (its events share
+    /// all digits above the tier with the cursor). So the scan touches at
+    /// most one slot per tier plus the overflow heap's root.
+    fn peek_key(&self) -> Option<(SimTime, u64)> {
+        if self.pos < self.current.len() {
+            let e = &self.current[self.pos];
+            return Some((e.time, e.seq));
+        }
+        if let Some(s) = self.next_occupied(0, digit(self.now, 0) + 1) {
+            let time = (self.now & !(SLOTS as u64 - 1)) | s as u64;
+            let seq = self.slots[s]
+                .iter()
+                .map(|e| e.seq)
+                .min()
+                .expect("occupied tier-0 slot");
+            return Some((time, seq));
+        }
+        for tier in 1..TIERS {
+            if let Some(s) = self.next_occupied(tier, digit(self.now, tier) + 1) {
+                // One slot spans 256^tier ms, so the minimum is over the
+                // slot's own contents, by full `(time, seq)` key.
+                return self.slots[tier * SLOTS + s]
+                    .iter()
+                    .map(|e| (e.time, e.seq))
+                    .min();
+            }
+        }
+        self.overflow.peek().map(|e| (e.time, e.seq))
+    }
+
     /// First occupied slot of `tier` at index ≥ `from`, via the bitmap.
     fn next_occupied(&self, tier: usize, from: usize) -> Option<usize> {
         if from >= SLOTS {
@@ -501,6 +539,18 @@ impl EventQueue {
         }
         self.len += 1;
         self.peak_len = self.peak_len.max(self.len);
+    }
+
+    /// Key `(time, seq)` of the earliest pending event without popping it
+    /// — `None` on an empty queue. Both arms agree with what [`pop`]
+    /// (Self::pop) would return next, so a driver can decide whether the
+    /// next event falls inside a virtual-time window before committing to
+    /// dispatch it.
+    pub fn peek_key(&self) -> Option<(SimTime, u64)> {
+        match &self.imp {
+            QueueImpl::Wheel(w) => w.peek_key(),
+            QueueImpl::Heap(h) => h.peek().map(|e| (e.time, e.seq)),
+        }
     }
 
     /// Pops the earliest event, if any.
@@ -682,6 +732,45 @@ mod tests {
                 })
                 .collect();
             assert_eq!(devices, vec![0, 1, 2], "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop_on_both_arms() {
+        // Mixed tiers (same-ms ties, tier 0/1/2 spans, overflow) — peek
+        // must agree with the next pop at every drain position.
+        let times = [7u64, 7, 300, 70_000, 70_000, 20_000_000, (1u64 << 32) + 5];
+        for kind in both_kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            for (d, &t) in times.iter().enumerate() {
+                q.push(t, EventKind::CheckIn { device: d });
+            }
+            loop {
+                let peeked = q.peek_key();
+                let popped = q.pop();
+                match (peeked, popped) {
+                    (Some(key), Some(e)) => assert_eq!(key, (e.time, e.seq), "{kind:?}"),
+                    (None, None) => break,
+                    other => panic!("peek/pop disagree on {kind:?}: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn peek_is_non_destructive() {
+        for kind in both_kinds() {
+            let mut q = EventQueue::with_kind(kind);
+            q.push(500, EventKind::CheckIn { device: 1 });
+            assert_eq!(q.peek_key(), Some((500, 0)), "{kind:?}");
+            assert_eq!(q.peek_key(), Some((500, 0)), "{kind:?}");
+            // A peek must not move the wheel cursor: a push at an earlier
+            // time afterwards is still legal and pops first.
+            q.push(100, EventKind::CheckIn { device: 2 });
+            assert_eq!(q.peek_key(), Some((100, 1)), "{kind:?}");
+            assert_eq!(q.pop().unwrap().time, 100, "{kind:?}");
+            assert_eq!(q.pop().unwrap().time, 500, "{kind:?}");
+            assert_eq!(q.peek_key(), None, "{kind:?}");
         }
     }
 

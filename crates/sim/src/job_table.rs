@@ -125,6 +125,26 @@ impl JobTable {
         }
     }
 
+    /// Appends runtime state for one job admitted mid-run (online
+    /// serving): identical initial state to what [`JobTable::new`] builds
+    /// for a plan known at t=0, so a dynamically submitted job is
+    /// indistinguishable from a pre-planned one with the same arrival.
+    pub fn push(&mut self, plan: &venn_traces::JobPlan, thresholds: CategoryThresholds) {
+        self.jobs.push(JobRuntime {
+            spec: plan.spec(thresholds),
+            rounds_done: 0,
+            phase: JobPhase::Idle,
+            epoch: 0,
+            request_start: 0,
+            round_start: 0,
+            assigned: 0,
+            responses: 0,
+            held: Vec::new(),
+            participants: Vec::new(),
+            record: JctRecord::new(plan.arrival_ms),
+        });
+    }
+
     /// Number of jobs.
     pub fn len(&self) -> usize {
         self.jobs.len()

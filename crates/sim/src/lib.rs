@@ -50,7 +50,7 @@ pub use job_table::{JobPhase, JobRuntime, JobTable};
 pub use observer::{AssignmentLog, CompletionLog, EventTrace, RoundRecorder, SimObserver};
 pub use result::{RoundLog, SimResult};
 pub use shard::ShardPlane;
-pub use snapshot::{resume_world, run_fingerprint, snapshot_world};
+pub use snapshot::{fork_world, resume_world, run_fingerprint, snapshot_world};
 pub use world::World;
 
 pub use venn_core::Scheduler;

@@ -60,7 +60,7 @@ pub fn run_fingerprint(config: &SimConfig, workload: &Workload) -> u64 {
 /// Call between [`World::step`]s — snapshots are only well-defined at
 /// event boundaries. Returns [`SnapError::Unsupported`] when the
 /// scheduler does not implement state capture.
-pub fn snapshot_world(world: &World<'_>, scheduler: &dyn Scheduler) -> Result<Vec<u8>, SnapError> {
+pub fn snapshot_world(world: &World, scheduler: &dyn Scheduler) -> Result<Vec<u8>, SnapError> {
     let mut w = SnapWriter::new();
     w.u64(run_fingerprint(world.config(), world.workload()));
     world.encode_state(&mut w);
@@ -78,12 +78,12 @@ pub fn snapshot_world(world: &World<'_>, scheduler: &dyn Scheduler) -> Result<Ve
 /// build. Every failure mode — truncation, bit flips, wrong format
 /// version, mismatched run or scheduler — returns a [`SnapError`];
 /// nothing in this path panics.
-pub fn resume_world<'w>(
+pub fn resume_world(
     bytes: &[u8],
     config: SimConfig,
-    workload: &'w Workload,
+    workload: &Workload,
     scheduler: &mut dyn Scheduler,
-) -> Result<World<'w>, SnapError> {
+) -> Result<World, SnapError> {
     let body = unseal(bytes)?;
     let mut r = SnapReader::new(body);
     let stored = r.u64()?;
@@ -99,6 +99,47 @@ pub fn resume_world<'w>(
     world.restore_state(&mut r)?;
     scheduler.load_state(&mut r)?;
     r.finish()?;
+    Ok(world)
+}
+
+/// Rebuilds a world from a sealed checkpoint under a *different*
+/// scheduler — the what-if `fork`: the kernel state (devices, jobs,
+/// pending events, RNG positions) continues exactly where the snapshot
+/// left off, but scheduling decisions from here on are `scheduler`'s.
+///
+/// Where [`resume_world`] demands the original scheduler and overwrites
+/// its state from the snapshot, a fork gives the new scheduler a *cold*
+/// book and replays into it only what the kernel can prove it must know:
+/// every still-open allocation request, resubmitted with its remaining
+/// demand ([`World::resubmit_open_requests`]). The snapshot's trailing
+/// scheduler-state bytes are deliberately ignored — they are the old
+/// arm's private state and have no meaning to the new one. Supply
+/// observations accumulate naturally as devices poll; schedulers start
+/// every run with an empty supply book anyway.
+///
+/// The forked child's result reports `scheduler.name()`, not the parent
+/// run's scheduler. `config` and `workload` must still be the snapshot's
+/// pair — a fork changes the *policy*, never the world.
+pub fn fork_world(
+    bytes: &[u8],
+    config: SimConfig,
+    workload: &Workload,
+    scheduler: &mut dyn Scheduler,
+) -> Result<World, SnapError> {
+    let body = unseal(bytes)?;
+    let mut r = SnapReader::new(body);
+    let stored = r.u64()?;
+    let expected = run_fingerprint(&config, workload);
+    if stored != expected {
+        return Err(SnapError::Corrupt(format!(
+            "snapshot fingerprint {stored:#018x} does not match this \
+             (config, workload) pair {expected:#018x} — a fork changes \
+             the scheduler, never the run's parameters"
+        )));
+    }
+    let mut world = World::new(config, workload, scheduler.name());
+    world.restore_state_impl(&mut r, false)?;
+    world.resubmit_open_requests(scheduler);
     Ok(world)
 }
 

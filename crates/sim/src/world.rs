@@ -23,9 +23,9 @@ use rand::SeedableRng;
 
 use venn_core::{JobId, Scheduler, SimTime, SnapError, SnapReader, SnapWriter, Snapshot};
 use venn_env::{Disturbance, EnvRuntime};
-use venn_metrics::{EnvStats, Histogram, JctRecord};
+use venn_metrics::{EnvStats, Histogram, JctRecord, MetricsFrame, Samples};
 use venn_traces::dist::LogNormal;
-use venn_traces::Workload;
+use venn_traces::{JobPlan, Workload};
 
 use crate::cohort::CohortSet;
 use crate::config::{ExecMode, PopMode, SimConfig};
@@ -114,10 +114,18 @@ impl SessionStream {
 
 /// One simulated world: all mutable state of a run plus its immutable
 /// environment (config and workload).
+///
+/// The world *owns* its workload (job plans are tiny `Copy` records, so
+/// the construction-time clone is negligible): an online driver may
+/// append jobs mid-run with [`World::submit_job`], which grows the
+/// workload and job table together — the workload is then no longer the
+/// caller's immutable input but part of the run's identity, and
+/// [`World::workload`] is what a snapshot fingerprint must be computed
+/// against.
 #[derive(Debug)]
-pub struct World<'w> {
+pub struct World {
     config: SimConfig,
-    workload: &'w Workload,
+    workload: Workload,
     /// Device population state.
     pub devices: DevicePool,
     /// Per-job runtime state.
@@ -162,11 +170,11 @@ pub struct World<'w> {
     now: SimTime,
 }
 
-impl<'w> World<'w> {
+impl World {
     /// Builds the initial world state: samples the device population,
     /// generates availability sessions, and seeds the queue with session
     /// starts and job arrivals.
-    pub fn new(config: SimConfig, workload: &'w Workload, scheduler_name: &str) -> Self {
+    pub fn new(config: SimConfig, workload: &Workload, scheduler_name: &str) -> Self {
         let horizon = config.horizon_ms();
         let mut rng = StdRng::seed_from_u64(config.seed);
         let noise = LogNormal::from_mean_cv(1.0, config.response_noise_cv.max(1e-6));
@@ -317,7 +325,7 @@ impl<'w> World<'w> {
             horizon,
             now: 0,
             config,
-            workload,
+            workload: workload.clone(),
         }
     }
 
@@ -326,9 +334,10 @@ impl<'w> World<'w> {
         &self.config
     }
 
-    /// The workload under simulation.
-    pub fn workload(&self) -> &'w Workload {
-        self.workload
+    /// The workload under simulation — including any jobs appended
+    /// mid-run by [`World::submit_job`].
+    pub fn workload(&self) -> &Workload {
+        &self.workload
     }
 
     /// Events dispatched so far.
@@ -408,6 +417,198 @@ impl<'w> World<'w> {
             o.on_run_end(&result);
         }
         result
+    }
+
+    // ------------------------------------------------------------------
+    // Online control — the mid-run mutation and bounded-draining surface
+    // behind `vennsim serve`. Batch runs never call these; their code
+    // paths are byte-for-byte unchanged.
+    // ------------------------------------------------------------------
+
+    /// Dispatches every pending event with `time <= target` (clamped to
+    /// the horizon), then advances the virtual clock to `target`. Returns
+    /// the number of events dispatched.
+    ///
+    /// The queue is only ever *peeked* past the window boundary — the
+    /// first out-of-window event stays exactly where it is, cursor and
+    /// all — so interleaving `run_until` windows with mid-run mutations
+    /// ([`submit_job`](Self::submit_job) /
+    /// [`withdraw_job`](Self::withdraw_job)) at the window boundaries
+    /// produces the same event stream as a batch run over the equivalent
+    /// static workload: bounded draining is a pause, not a fork, of the
+    /// simulation.
+    pub fn run_until(
+        &mut self,
+        target: SimTime,
+        scheduler: &mut dyn Scheduler,
+        observers: &mut [&mut dyn SimObserver],
+    ) -> u64 {
+        let target = target.min(self.horizon);
+        let before = self.result.events;
+        while let Some((time, _)) = self.queue.peek_key() {
+            if time > target || !self.step(scheduler, observers) {
+                break;
+            }
+        }
+        self.now = self.now.max(target);
+        self.result.events - before
+    }
+
+    /// Admits one job mid-run: the plan joins the workload, its runtime
+    /// state joins the job table, and its arrival event is queued —
+    /// indistinguishable from a plan known at t=0 with the same arrival.
+    ///
+    /// The plan's `id` is reassigned to the job's table index. Returns
+    /// that index, or a diagnostic for a plan the kernel cannot honor
+    /// (zero rounds/demand/task cost, or an arrival before the current
+    /// virtual time — the kernel never schedules into the past).
+    pub fn submit_job(&mut self, mut plan: JobPlan) -> Result<usize, String> {
+        if plan.rounds == 0 {
+            return Err("job needs at least one round".into());
+        }
+        if plan.demand == 0 {
+            return Err("job needs at least one participant per round".into());
+        }
+        if plan.task_ms == 0 {
+            return Err("job task cost must be positive".into());
+        }
+        if plan.arrival_ms < self.now {
+            return Err(format!(
+                "arrival {} ms is in the past (virtual time is {} ms)",
+                plan.arrival_ms, self.now
+            ));
+        }
+        let job_idx = self.jobs.len();
+        plan.id = JobId::new(job_idx as u64);
+        self.jobs.push(&plan, self.config.thresholds);
+        if plan.arrival_ms < self.horizon {
+            self.queue
+                .push(plan.arrival_ms, EventKind::JobArrival { job_idx });
+        }
+        self.workload.jobs.push(plan);
+        Ok(job_idx)
+    }
+
+    /// Withdraws a job mid-run: its current request (if any) is torn down
+    /// exactly as an abort would tear it down — scheduler `withdraw`,
+    /// held devices released back into their poll loops — and the job
+    /// moves to its terminal phase, epoch bumped so every in-flight event
+    /// (responses, deadlines, hold expiries, queued round starts) retires
+    /// through the existing staleness guards. Returns `false` for an
+    /// unknown or already-terminal job.
+    ///
+    /// A withdrawn job's record stays unfinished: it reports as an
+    /// aborted (JCT-less) job, not a completed one.
+    pub fn withdraw_job(&mut self, job_idx: usize, scheduler: &mut dyn Scheduler) -> bool {
+        if job_idx >= self.jobs.len() || self.jobs.get(job_idx).phase == JobPhase::Finished {
+            return false;
+        }
+        let now = self.now;
+        if self.jobs.get(job_idx).phase == JobPhase::Allocating {
+            // Mirror `abort_round`'s open-request teardown (which see):
+            // the held devices' pending expiries are retired by the
+            // hold-generation guard, and each released device re-enters
+            // its poll loop rather than idling invisibly until its next
+            // session.
+            scheduler.withdraw(JobId::new(job_idx as u64), now);
+            let held: Vec<usize> = self.jobs.get(job_idx).held_devices().collect();
+            for device in held {
+                self.devices.release(device);
+                let next = now + self.config.repoll_ms;
+                if next < self.devices.session_end(device) {
+                    self.queue.push(next, EventKind::CheckIn { device });
+                } else {
+                    self.devices.note_possible_retire(device, now);
+                }
+            }
+        }
+        let j = self.jobs.get_mut(job_idx);
+        j.phase = JobPhase::Finished;
+        j.epoch += 1;
+        true
+    }
+
+    /// Captures a [`MetricsFrame`] of the run at the current virtual
+    /// time — a deterministic function of run state, so a frame captured
+    /// at the same instant of a journal replay is identical to the live
+    /// one.
+    pub fn metrics_frame(&self) -> MetricsFrame {
+        let mut frame = MetricsFrame {
+            vt_ms: self.now,
+            events: self.result.events,
+            assignments: self.result.assignments,
+            failures: self.result.failures,
+            aborted_rounds: self.result.aborted_rounds,
+            jobs: self.jobs.len() as u64,
+            live_devices: self.devices.live_devices() as u64,
+            parked_polls: self.parked_poll_count() as u64,
+            queue_len: self.queue.len() as u64,
+            env_dropouts: self.result.env.dropouts,
+            env_forced_offline: self.result.env.forced_offline,
+            env_storm_aborts: self.result.env.storm_aborts,
+            env_retries: self.result.env.retries,
+            ..MetricsFrame::default()
+        };
+        let mut jcts = Samples::new();
+        for idx in 0..self.jobs.len() {
+            let j = self.jobs.get(idx);
+            match j.phase {
+                JobPhase::Running => frame.jobs_running += 1,
+                JobPhase::Allocating => {
+                    frame.jobs_allocating += 1;
+                    frame.held_devices += j.held_devices().count() as u64;
+                }
+                JobPhase::Idle | JobPhase::Finished => {}
+            }
+            if let Some(jct) = j.record.jct_ms() {
+                frame.jobs_finished += 1;
+                jcts.push(jct as f64);
+            }
+        }
+        if !jcts.is_empty() {
+            frame.jct_p50_ms = Some(jcts.percentile(50.0) as u64);
+            frame.jct_p90_ms = Some(jcts.percentile(90.0) as u64);
+            frame.jct_p99_ms = Some(jcts.percentile(99.0) as u64);
+        }
+        frame
+    }
+
+    /// Re-registers every open allocation request with a *fresh*
+    /// scheduler — the what-if `fork` path, where a restored world
+    /// continues under a scheduler that never saw the original `submit`
+    /// calls. Each Allocating job resubmits only its still-open demand
+    /// (`requested − assigned`; held devices stay held), so the new
+    /// scheduler's book matches what the old scheduler's book said at the
+    /// snapshot instant.
+    pub(crate) fn resubmit_open_requests(&mut self, scheduler: &mut dyn Scheduler) {
+        for job_idx in 0..self.jobs.len() {
+            let j = self.jobs.get(job_idx);
+            if j.phase != JobPhase::Allocating {
+                continue;
+            }
+            let plan = &self.workload.jobs[job_idx];
+            let requested = self.config.requested(plan.demand);
+            let open = requested.saturating_sub(j.assigned);
+            if open == 0 {
+                continue;
+            }
+            let remaining_rounds = plan.rounds - j.rounds_done;
+            scheduler.submit(
+                venn_core::Request::new(
+                    JobId::new(job_idx as u64),
+                    j.spec,
+                    open,
+                    remaining_rounds as u64 * plan.demand as u64,
+                ),
+                self.now,
+            );
+        }
+        // Any open demand means the parked set is empty already (demand
+        // gating wakes it on submit), but a fork taken at an instant with
+        // no open requests must still leave the parked plane consistent.
+        if self.has_parked() && scheduler.has_open_demand() {
+            self.wake_polls();
+        }
     }
 
     /// Elapses every parked poll that precedes the event about to be
@@ -1314,6 +1515,19 @@ impl<'w> World<'w> {
     /// any internally inconsistent input that slips past the container
     /// checksum.
     pub fn restore_state(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.restore_state_impl(r, true)
+    }
+
+    /// [`restore_state`](Self::restore_state) with the scheduler-name
+    /// check optional: the what-if `fork` path
+    /// ([`crate::snapshot::fork_world`]) deliberately restores a world
+    /// under a *different* scheduler, keeping the fresh world's own
+    /// scheduler name for the child run's report.
+    pub(crate) fn restore_state_impl(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        check_scheduler: bool,
+    ) -> Result<(), SnapError> {
         self.now = r.u64()?;
         self.devices.restore_state(r)?;
 
@@ -1439,7 +1653,7 @@ impl<'w> World<'w> {
         self.rng = StdRng::decode(r)?;
 
         let name = r.str()?;
-        if name != self.result.scheduler_name {
+        if check_scheduler && name != self.result.scheduler_name {
             return Err(SnapError::Corrupt(format!(
                 "snapshot taken under scheduler {name:?}, resuming {:?}",
                 self.result.scheduler_name

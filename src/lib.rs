@@ -17,6 +17,9 @@
 //! * [`metrics`] — streaming statistics, JCT accounting, tables, CSV;
 //! * [`fl`] — a minimal FedAvg stack for the accuracy experiments;
 //! * [`opt`] — an exact solver validating IRS on small instances;
+//! * [`serve`] — the online control plane: line-delimited JSON command
+//!   protocol, virtual/real time decoupled driver, session journal with
+//!   byte-identical replay, and snapshot-fork what-if runs;
 //! * [`mod@bench`] — the experiment harness and sweep executor behind
 //!   every paper figure/table binary.
 //!
@@ -42,5 +45,6 @@ pub use venn_env as env;
 pub use venn_fl as fl;
 pub use venn_metrics as metrics;
 pub use venn_opt as opt;
+pub use venn_serve as serve;
 pub use venn_sim as sim;
 pub use venn_traces as traces;

@@ -65,7 +65,7 @@ pub fn observe_kind_crashed_when(
     sim: SimConfig,
     workload: &Workload,
     kind: SchedKind,
-    at: impl FnMut(&World<'_>) -> bool,
+    at: impl FnMut(&World) -> bool,
     crashed_at: &mut Option<u64>,
 ) -> Observed {
     let mut log = AssignmentLog::default();

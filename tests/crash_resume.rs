@@ -149,7 +149,7 @@ fn crash_inside_an_active_round_is_invisible() {
             sim,
             &workload,
             kind,
-            |world: &World<'_>| {
+            |world: &World| {
                 (0..world.jobs.len()).any(|i| {
                     let j = world.jobs.get(i);
                     matches!(j.phase, JobPhase::Allocating | JobPhase::Running)
@@ -182,7 +182,7 @@ fn crash_with_parked_polls_is_invisible() {
             sim,
             &workload,
             kind,
-            |world: &World<'_>| world.parked_poll_count() > 20,
+            |world: &World| world.parked_poll_count() > 20,
             &mut crashed_at,
         );
         assert!(
