@@ -17,7 +17,10 @@
 //!           [--load FILE.tsv] [--save FILE.tsv] [--csv]
 //!           [--checkpoint-every SIM_MS] [--checkpoint-dir DIR]
 //!           [--checkpoint-keep N] [--resume] [--fork-from FILE.vsnp]
-//!           [--journal FILE] [--replay FILE] [--listen ADDR] [--rate F]
+//!           [--journal FILE] [--journal-sync always|batch|off]
+//!           [--replay FILE] [--listen ADDR] [--rate F]
+//!           [--idle-timeout SECS] [--frame-queue N]
+//!           [--fault-inject SEED[:PROB]]
 //! ```
 //!
 //! `--shards N` runs the sharded execution engine with `N` lock-step
@@ -44,25 +47,35 @@
 //!
 //! `vennsim serve` (first positional argument) starts an online session
 //! instead of a batch run: line-delimited JSON commands on stdin (or a
-//! `--listen` TCP socket), responses on stdout. Virtual time advances
-//! only on `advance` commands, or continuously at `--rate` virtual ms
-//! per wall ms. `--journal FILE` records every accepted command;
-//! `--replay FILE` feeds a journal back through the same code path and
-//! reproduces the live session's output byte for byte. See the
-//! "Online serving" section of `ARCHITECTURE.md` for the protocol.
+//! multi-client `--listen` TCP socket), responses on stdout. Virtual
+//! time advances only on `advance` commands, or continuously at
+//! `--rate` virtual ms per wall ms. `--journal FILE` records every
+//! accepted command in a checksummed WAL (`--journal-sync` picks the
+//! fsync policy); `--replay FILE` feeds a journal — WAL or legacy, even
+//! one with a torn tail — back through the same code path and
+//! reproduces the live session's output byte for byte. With `serve`,
+//! `--checkpoint-dir DIR` writes a final checkpoint there on shutdown
+//! (quit or SIGTERM). `--fault-inject SEED[:PROB]` wraps every durable
+//! write in the deterministic fault injector for chaos testing. See the
+//! "Online serving" and "Fault injection & durability" sections of
+//! `ARCHITECTURE.md` for the protocol.
 //!
 //! Run: `cargo run --release -p venn-bench --bin vennsim -- --jobs 12 --days 5`
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use venn_baselines::BaselineScheduler;
-use venn_core::{Scheduler, VennConfig, VennScheduler, MINUTE_MS};
+use venn_core::{FaultFs, RealFs, Scheduler, SimFs, VennConfig, VennScheduler, MINUTE_MS};
 use venn_env::EnvPreset;
 use venn_metrics::csv::Csv;
-use venn_sim::{ExecMode, PopMode, QueueKind, SimConfig, SimResult, Simulation, World};
+use venn_serve::{SyncPolicy, WalWriter};
+use venn_sim::{
+    CheckpointStore, ExecMode, PopMode, QueueKind, SimConfig, SimResult, Simulation, World,
+};
 use venn_traces::{io as wio, BiasKind, JobDemandModel, Workload, WorkloadKind};
 
 #[derive(Debug)]
@@ -93,9 +106,13 @@ struct Args {
     fork_from: Option<String>,
     serve: bool,
     journal: Option<String>,
+    journal_sync: SyncPolicy,
     replay: Option<String>,
     listen: Option<String>,
     rate: Option<f64>,
+    idle_timeout_secs: u64,
+    frame_queue: usize,
+    fault_inject: Option<(u64, f64)>,
 }
 
 impl Default for Args {
@@ -127,9 +144,13 @@ impl Default for Args {
             fork_from: None,
             serve: false,
             journal: None,
+            journal_sync: SyncPolicy::default(),
             replay: None,
             listen: None,
             rate: None,
+            idle_timeout_secs: 300,
+            frame_queue: 1024,
+            fault_inject: None,
         }
     }
 }
@@ -185,9 +206,11 @@ fn parse_args() -> Result<Args, String> {
                     "compute" => BiasKind::ComputeHeavy,
                     "memory" => BiasKind::MemoryHeavy,
                     "resource" => BiasKind::ResourceHeavy,
-                    other => return Err(format!(
+                    other => {
+                        return Err(format!(
                         "--bias: unknown value {other:?} (valid: general|compute|memory|resource)"
-                    )),
+                    ))
+                    }
                 })
             }
             "--epsilon" => {
@@ -273,8 +296,49 @@ fn parse_args() -> Result<Args, String> {
             "--resume" => args.resume = true,
             "--fork-from" => args.fork_from = Some(value("--fork-from")?),
             "--journal" => args.journal = Some(value("--journal")?),
+            "--journal-sync" => {
+                let name = value("--journal-sync")?;
+                args.journal_sync = SyncPolicy::parse(&name).ok_or_else(|| {
+                    format!("--journal-sync: unknown value {name:?} (valid: always|batch|off)")
+                })?;
+            }
             "--replay" => args.replay = Some(value("--replay")?),
             "--listen" => args.listen = Some(value("--listen")?),
+            "--idle-timeout" => {
+                args.idle_timeout_secs = value("--idle-timeout")?
+                    .parse()
+                    .map_err(|e| format!("--idle-timeout: {e}"))?;
+                if args.idle_timeout_secs == 0 {
+                    return Err("--idle-timeout must be at least 1 second".into());
+                }
+            }
+            "--frame-queue" => {
+                args.frame_queue = value("--frame-queue")?
+                    .parse()
+                    .map_err(|e| format!("--frame-queue: {e}"))?;
+                if args.frame_queue == 0 {
+                    return Err("--frame-queue must be at least 1".into());
+                }
+            }
+            "--fault-inject" => {
+                let spec = value("--fault-inject")?;
+                let (seed, prob) = match spec.split_once(':') {
+                    Some((s, p)) => (
+                        s.parse().map_err(|e| format!("--fault-inject seed: {e}"))?,
+                        p.parse()
+                            .map_err(|e| format!("--fault-inject probability: {e}"))?,
+                    ),
+                    None => (
+                        spec.parse()
+                            .map_err(|e| format!("--fault-inject seed: {e}"))?,
+                        0.02,
+                    ),
+                };
+                if !(0.0..=1.0).contains(&prob) {
+                    return Err("--fault-inject probability must be in [0,1]".into());
+                }
+                args.fault_inject = Some((seed, prob));
+            }
             "--rate" => {
                 let rate: f64 = value("--rate")?
                     .parse()
@@ -301,6 +365,9 @@ fn parse_args() -> Result<Args, String> {
     {
         return Err("--journal/--replay/--listen/--rate only apply to `vennsim serve`".into());
     }
+    if args.fault_inject.is_some() && !args.serve && args.checkpoint_dir.is_none() {
+        return Err("--fault-inject applies to serve sessions or checkpointed runs".into());
+    }
     if args.fork_from.is_some() && (args.serve || args.resume || args.checkpoint_every.is_some()) {
         return Err(
             "--fork-from is a batch mode; it excludes serve/--resume/--checkpoint-every".into(),
@@ -324,121 +391,69 @@ fn build_scheduler(args: &Args) -> Result<Box<dyn Scheduler>, String> {
         "random-per-device" => Box::new(BaselineScheduler::random_per_device(args.seed)),
         "fifo" => Box::new(BaselineScheduler::fifo()),
         "srsf" => Box::new(BaselineScheduler::srsf()),
-        other => return Err(format!(
+        other => {
+            return Err(format!(
             "--scheduler: unknown value {other:?} (valid: venn|random|random-per-device|fifo|srsf)"
-        )),
+        ))
+        }
     })
 }
 
-/// Checkpoint files in `dir` as `(sim_time_ms, path)`, unsorted.
-fn list_checkpoints(dir: &str) -> Result<Vec<(u64, std::path::PathBuf)>, String> {
-    let mut out = Vec::new();
-    let entries = std::fs::read_dir(dir).map_err(|e| format!("{dir}: {e}"))?;
-    for entry in entries {
-        let entry = entry.map_err(|e| format!("{dir}: {e}"))?;
-        let name = entry.file_name();
-        let Some(name) = name.to_str() else { continue };
-        let Some(stamp) = name
-            .strip_prefix("ckpt-")
-            .and_then(|rest| rest.strip_suffix(".vsnp"))
-        else {
-            continue;
-        };
-        if let Ok(time) = stamp.parse::<u64>() {
-            out.push((time, entry.path()));
-        }
+/// The durable-write backend: the real filesystem, optionally wrapped
+/// in the deterministic fault injector (`--fault-inject SEED[:PROB]`).
+/// Random injection only throws survivable faults (ENOSPC, EIO, torn
+/// writes — never crash-freezes, never read faults), so a run under it
+/// must still complete correctly through retries and fallbacks.
+fn make_fs(args: &Args) -> Box<dyn SimFs> {
+    match args.fault_inject {
+        Some((seed, prob)) => Box::new(FaultFs::random(RealFs, seed, prob)),
+        None => Box::new(RealFs),
     }
-    Ok(out)
-}
-
-/// Atomically writes one checkpoint (tmp + rename, so a crash mid-write
-/// never leaves a half-written file under the checkpoint name) and prunes
-/// all but the newest `keep` (`--checkpoint-keep`, default 2: the newest
-/// plus one fallback in case the newest is damaged, e.g. a torn write on
-/// a dying filesystem).
-fn write_checkpoint(
-    dir: &str,
-    world: &World,
-    scheduler: &dyn Scheduler,
-    keep: usize,
-) -> Result<(), String> {
-    let bytes =
-        venn_sim::snapshot_world(world, scheduler).map_err(|e| format!("checkpoint: {e}"))?;
-    let path = format!("{dir}/ckpt-{:016}.vsnp", world.now());
-    let tmp = format!("{path}.tmp");
-    std::fs::write(&tmp, &bytes).map_err(|e| format!("{tmp}: {e}"))?;
-    std::fs::rename(&tmp, &path).map_err(|e| format!("{path}: {e}"))?;
-    let mut ckpts = list_checkpoints(dir)?;
-    ckpts.sort();
-    for (_, stale) in ckpts.iter().rev().skip(keep) {
-        let _ = std::fs::remove_file(stale);
-    }
-    Ok(())
-}
-
-/// A run's live state: the world plus the scheduler driving it.
-type LiveRun = (World, Box<dyn Scheduler>);
-
-/// Resumes from the newest usable checkpoint in `dir`, degrading
-/// gracefully: an unreadable, truncated, corrupt, or mismatched-run file
-/// is reported and the next-newest tried. Returns `None` (fresh start)
-/// when no checkpoint survives triage.
-fn resume_from_dir(
-    args: &Args,
-    dir: &str,
-    config: SimConfig,
-    workload: &Workload,
-) -> Result<Option<LiveRun>, String> {
-    let mut ckpts = list_checkpoints(dir)?;
-    ckpts.sort();
-    for (time, path) in ckpts.iter().rev() {
-        let bytes = match std::fs::read(path) {
-            Ok(bytes) => bytes,
-            Err(e) => {
-                eprintln!("warning: skipping checkpoint {}: {e}", path.display());
-                continue;
-            }
-        };
-        // A fresh scheduler per attempt: a failed load may leave one
-        // partially overwritten.
-        let mut scheduler = build_scheduler(args)?;
-        match venn_sim::resume_world(&bytes, config, workload, &mut *scheduler) {
-            Ok(world) => {
-                eprintln!(
-                    "resumed from {} (sim time {:.1} h, {} events in)",
-                    path.display(),
-                    *time as f64 / 3_600_000.0,
-                    world.events_processed()
-                );
-                return Ok(Some((world, scheduler)));
-            }
-            Err(e) => {
-                eprintln!("warning: checkpoint {} unusable: {e}", path.display());
-            }
-        }
-    }
-    Ok(None)
 }
 
 /// The checkpoint-aware run loop: identical results to
 /// [`Simulation::run`] (snapshots are pure reads of the world between
-/// event dispatches), plus periodic durable snapshots and/or resume.
+/// event dispatches), plus periodic durable snapshots and/or resume
+/// through [`CheckpointStore`] — atomic publish, retry with backoff on
+/// transient faults, stale-tmp hygiene, and triaged resume.
 fn run_checkpointed(
     args: &Args,
     dir: &str,
     config: SimConfig,
     workload: &Workload,
 ) -> Result<SimResult, String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let mut fs = make_fs(args);
+    let mut store =
+        CheckpointStore::open(&mut *fs, dir, args.checkpoint_keep).map_err(|e| e.to_string())?;
+    for name in store.clean_stale_tmp().map_err(|e| e.to_string())? {
+        eprintln!("removed stale checkpoint tmp {dir}/{name}");
+    }
+    build_scheduler(args)?; // surface a bad --scheduler before resuming
     let (mut world, mut scheduler) = match args.resume {
-        true => match resume_from_dir(args, dir, config, workload)? {
-            Some(resumed) => resumed,
-            None => {
-                eprintln!("no usable checkpoint in {dir}; starting fresh");
-                let scheduler = build_scheduler(args)?;
-                (World::new(config, workload, scheduler.name()), scheduler)
+        true => {
+            let mut build = || build_scheduler(args).expect("scheduler arm validated above");
+            let outcome = store
+                .resume(config, workload, &mut build)
+                .map_err(|e| e.to_string())?;
+            for warning in &outcome.warnings {
+                eprintln!("warning: {warning}");
             }
-        },
+            match outcome.run {
+                Some((world, scheduler)) => {
+                    eprintln!(
+                        "resumed from {dir} (sim time {:.1} h, {} events in)",
+                        world.now() as f64 / 3_600_000.0,
+                        world.events_processed()
+                    );
+                    (world, scheduler)
+                }
+                None => {
+                    eprintln!("no usable checkpoint in {dir}; starting fresh");
+                    let scheduler = build_scheduler(args)?;
+                    (World::new(config, workload, scheduler.name()), scheduler)
+                }
+            }
+        }
         false => {
             let scheduler = build_scheduler(args)?;
             (World::new(config, workload, scheduler.name()), scheduler)
@@ -450,7 +465,9 @@ fn run_checkpointed(
     while world.step(&mut *scheduler, &mut []) {
         if let (Some(every), Some(at)) = (args.checkpoint_every, next_checkpoint) {
             if world.now() >= at {
-                write_checkpoint(dir, &world, &*scheduler, args.checkpoint_keep)?;
+                store
+                    .write(&world, &*scheduler)
+                    .map_err(|e| e.to_string())?;
                 next_checkpoint = Some(world.now().saturating_add(every));
             }
         }
@@ -483,7 +500,7 @@ fn run_forked(
 }
 
 /// `vennsim serve`: the online session. Commands in (stdin, a replay
-/// file, or one TCP connection), responses out, optional journal.
+/// file, or multi-client TCP), responses out, optional WAL journal.
 fn run_serve(args: &Args, config: SimConfig, workload: &Workload) -> Result<(), String> {
     let spec = venn_serve::SchedSpec {
         name: args.scheduler.clone(),
@@ -491,29 +508,54 @@ fn run_serve(args: &Args, config: SimConfig, workload: &Workload) -> Result<(), 
         tiers: args.tiers,
         seed: args.seed,
     };
-    let mut session = venn_serve::ServeSession::new(config, spec, workload)?;
+    let fs: venn_serve::SharedFs = match args.fault_inject {
+        Some((seed, prob)) => venn_serve::shared_fs(FaultFs::random(RealFs, seed, prob)),
+        None => venn_serve::real_fs(),
+    };
+    let mut session = venn_serve::ServeSession::with_fs(config, spec, workload, fs.clone())?;
     if let Some(path) = &args.replay {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        // WAL or legacy journal; damage is a warning and the intact
+        // prefix replays, never a parse or vt-mismatch failure.
+        let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+        let recovered = venn_serve::recover_journal(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        if let Some(torn) = &recovered.torn {
+            eprintln!(
+                "warning: {path}: torn journal tail at byte {} ({}); replaying the {} intact line(s) before it",
+                torn.offset,
+                torn.reason,
+                recovered.lines.len()
+            );
+        }
         let stdout = std::io::stdout();
         let mut out: Box<dyn std::io::Write> = Box::new(stdout.lock());
-        let mut journal: Option<Box<dyn std::io::Write>> = match &args.journal {
-            Some(p) => Some(Box::new(
-                std::fs::File::create(p).map_err(|e| format!("{p}: {e}"))?,
-            )),
+        let mut journal = match &args.journal {
+            Some(p) => Some(
+                WalWriter::create(fs.clone(), p, args.journal_sync)
+                    .map_err(|e| format!("{p}: {e}"))?,
+            ),
             None => None,
         };
-        return venn_serve::run_lines(
+        venn_serve::run_lines(
             &mut session,
-            text.lines().map(|l| Ok(l.to_string())),
+            recovered.lines.into_iter().map(Ok),
             &mut out,
             &mut journal,
         )
-        .map_err(|e| e.to_string());
+        .map_err(|e| e.to_string())?;
+        if let Some(j) = journal.as_mut() {
+            j.seal().map_err(|e| e.to_string())?;
+        }
+        return Ok(());
     }
     let opts = venn_serve::ServeOpts {
         journal: args.journal.clone(),
+        journal_sync: args.journal_sync,
         rate: args.rate,
         listen: args.listen.clone(),
+        idle_timeout: Duration::from_secs(args.idle_timeout_secs),
+        frame_queue_cap: args.frame_queue,
+        shutdown_checkpoint_dir: args.checkpoint_dir.clone(),
+        ..venn_serve::ServeOpts::default()
     };
     venn_serve::serve(&mut session, &opts).map_err(|e| e.to_string())
 }
@@ -642,7 +684,9 @@ fn main() -> ExitCode {
                  [--load FILE.tsv] [--save FILE.tsv] [--csv] \
                  [--checkpoint-every SIM_MS] [--checkpoint-dir DIR] [--checkpoint-keep N] \
                  [--resume] [--fork-from FILE.vsnp] \
-                 [--journal FILE] [--replay FILE] [--listen ADDR] [--rate F]"
+                 [--journal FILE] [--journal-sync always|batch|off] [--replay FILE] \
+                 [--listen ADDR] [--rate F] [--idle-timeout SECS] [--frame-queue N] \
+                 [--fault-inject SEED[:PROB]]"
             );
             if e == "help" {
                 ExitCode::SUCCESS

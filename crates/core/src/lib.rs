@@ -40,6 +40,7 @@
 pub mod config;
 pub mod device;
 pub mod fairness;
+pub mod faultio;
 pub mod forecast;
 pub mod ids;
 pub mod intern;
@@ -55,6 +56,7 @@ pub mod venn;
 
 pub use config::VennConfig;
 pub use device::DeviceInfo;
+pub use faultio::{Fault, FaultFs, FaultRule, FioError, FioOp, MemFs, RealFs, SimFs};
 pub use ids::{DeviceId, GroupId, JobId};
 pub use intern::SpecInterner;
 pub use request::Request;

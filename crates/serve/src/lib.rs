@@ -35,7 +35,12 @@ pub mod driver;
 pub mod json;
 pub mod protocol;
 pub mod session;
+pub mod wal;
 
-pub use driver::{run_lines, serve, ServeOpts};
+pub use driver::{run_lines, serve, OutQueue, ServeOpts};
 pub use protocol::{CmdError, Command};
 pub use session::{result_csv, LineOutcome, SchedSpec, ServeSession};
+pub use wal::{
+    real_fs, recover_journal, shared_fs, JournalError, Recovered, SharedFs, SyncPolicy, TornTail,
+    WalWriter,
+};

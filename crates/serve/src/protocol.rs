@@ -107,6 +107,24 @@ impl CmdError {
         }
     }
 
+    /// A client's outbound frame queue overflowed; the connection is
+    /// about to be closed. This error is the *last* line the client sees.
+    pub fn backpressure(msg: impl Into<String>) -> Self {
+        CmdError {
+            code: "backpressure",
+            msg: msg.into(),
+        }
+    }
+
+    /// A client sent a line longer than the protocol bound; the
+    /// oversized line is discarded without being parsed.
+    pub fn line_too_long(msg: impl Into<String>) -> Self {
+        CmdError {
+            code: "line-too-long",
+            msg: msg.into(),
+        }
+    }
+
     /// The error as a one-line JSON response.
     pub fn to_response(&self, vt: u64) -> String {
         obj(vec![

@@ -19,15 +19,31 @@
 //! `vt` stamp so a replay detects divergence immediately instead of
 //! drifting.
 
+use std::time::Duration;
+
 use venn_baselines::BaselineScheduler;
+use venn_core::faultio::retry_transient;
 use venn_core::{JobId, Scheduler, VennConfig, VennScheduler};
 use venn_metrics::csv::Csv;
 use venn_metrics::MetricsFrame;
-use venn_sim::{fork_world, resume_world, snapshot_world, JobPhase, SimConfig, SimResult, World};
+use venn_sim::{
+    fork_world, resume_world, snapshot_world, CheckpointStore, JobPhase, SimConfig, SimResult,
+    World,
+};
 use venn_traces::{io as wio, JobPlan, Workload};
 
 use crate::json::{obj, Value};
 use crate::protocol::{CmdError, Command};
+use crate::wal::{real_fs, SharedFs};
+
+/// Write attempts for a `checkpoint` command before the typed `io`
+/// error surfaces (transient ENOSPC/EIO only — hard faults surface
+/// immediately).
+const CKPT_ATTEMPTS: u32 = 4;
+
+/// Initial backoff between checkpoint attempts (doubles each try;
+/// wall-clock only, virtual time is untouched).
+const CKPT_BACKOFF: Duration = Duration::from_millis(5);
 
 /// How to build a scheduler arm — enough to construct fresh instances
 /// for the live session and for fork children.
@@ -91,12 +107,25 @@ pub struct ServeSession {
     /// events-per-virtual-second rate.
     last_frame: (u64, u64),
     done: bool,
+    fs: SharedFs,
 }
 
 impl ServeSession {
     /// Builds a session over a fresh world. The config's horizon bounds
     /// how far virtual time can ever advance.
     pub fn new(config: SimConfig, spec: SchedSpec, workload: &Workload) -> Result<Self, String> {
+        Self::with_fs(config, spec, workload, real_fs())
+    }
+
+    /// Like [`ServeSession::new`], but every durable write the session
+    /// performs (checkpoints, workload exports, fork CSVs) goes through
+    /// `fs` — the injection point for deterministic fault testing.
+    pub fn with_fs(
+        config: SimConfig,
+        spec: SchedSpec,
+        workload: &Workload,
+        fs: SharedFs,
+    ) -> Result<Self, String> {
         let scheduler = spec.build()?;
         let world = World::new(config, workload, scheduler.name());
         Ok(ServeSession {
@@ -108,7 +137,13 @@ impl ServeSession {
             next_frame_at: 0,
             last_frame: (0, 0),
             done: false,
+            fs,
         })
+    }
+
+    /// The session's filesystem handle (shared with the journal/driver).
+    pub fn fs(&self) -> SharedFs {
+        self.fs.clone()
     }
 
     /// Current virtual time, ms.
@@ -238,9 +273,14 @@ impl ServeSession {
                 let bytes = snapshot_world(&self.world, &*self.scheduler)
                     .map_err(|e| CmdError::snapshot(e.to_string()))?;
                 let len = bytes.len();
-                let tmp = format!("{path}.tmp");
-                std::fs::write(&tmp, &bytes).map_err(|e| CmdError::io(format!("{tmp}: {e}")))?;
-                std::fs::rename(&tmp, path).map_err(|e| CmdError::io(format!("{path}: {e}")))?;
+                // Atomic publish with bounded retry: transient ENOSPC/EIO
+                // on the tmp write are retried with backoff; the rename
+                // only ever exposes a complete file.
+                let fs = self.fs.clone();
+                retry_transient(CKPT_ATTEMPTS, CKPT_BACKOFF, || {
+                    fs.borrow_mut().write_atomic(path, &bytes)
+                })
+                .map_err(|e| CmdError::io(format!("{path}: {e}")))?;
                 Ok(self.ok(vec![
                     ("path", Value::Str(path.clone())),
                     ("bytes", Value::Int(len as i64)),
@@ -248,7 +288,10 @@ impl ServeSession {
             }
             Command::SaveWorkload { path } => {
                 let tsv = wio::to_tsv(self.world.workload());
-                std::fs::write(path, tsv).map_err(|e| CmdError::io(format!("{path}: {e}")))?;
+                self.fs
+                    .borrow_mut()
+                    .write(path, tsv.as_bytes())
+                    .map_err(|e| CmdError::io(format!("{path}: {e}")))?;
                 Ok(self.ok(vec![
                     ("path", Value::Str(path.clone())),
                     ("jobs", Value::Int(self.world.workload().jobs.len() as i64)),
@@ -372,6 +415,19 @@ impl ServeSession {
         ])
     }
 
+    /// Writes a final checkpoint of the live world into `dir` through
+    /// the session's [`CheckpointStore`] — the graceful-shutdown path.
+    /// Returns the published checkpoint path.
+    pub fn final_checkpoint(&mut self, dir: &str) -> Result<String, CmdError> {
+        let fs = self.fs.clone();
+        let mut guard = fs.borrow_mut();
+        let mut store =
+            CheckpointStore::open(&mut **guard, dir, 2).map_err(|e| CmdError::io(e.to_string()))?;
+        store
+            .write(&self.world, &*self.scheduler)
+            .map_err(|e| CmdError::io(e.to_string()))
+    }
+
     /// The what-if fork: snapshot the live world, run the remainder to
     /// completion under BOTH the session's scheduler arm (the control)
     /// and the requested alternative, and report the JCT/assignment
@@ -407,7 +463,9 @@ impl ServeSession {
         let alt = run_to_end(alt_world, &mut *alt_sched);
 
         if let Some(path) = csv {
-            std::fs::write(path, result_csv(&alt))
+            self.fs
+                .borrow_mut()
+                .write(path, result_csv(&alt).as_bytes())
                 .map_err(|e| CmdError::io(format!("{path}: {e}")))?;
         }
 

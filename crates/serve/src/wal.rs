@@ -1,0 +1,529 @@
+//! The write-ahead journal: length-prefixed, checksummed records with
+//! torn-tail recovery.
+//!
+//! PR 9's journal was unsynced buffered text lines — fine for replaying
+//! a session that ended cleanly, useless after a crash: a torn final
+//! line failed replay with a parse or `vt-mismatch` error. This module
+//! promotes the journal to a real WAL, reusing the `VSNP` codec idioms
+//! from [`venn_core::snapshot`]:
+//!
+//! ```text
+//! header : "VWAL" magic | u32 version (LE)
+//! record : u32 len (LE) | u64 FNV-1a(payload) | payload (UTF-8 line)
+//! seal   : a len-0 record — written on graceful shutdown
+//! ```
+//!
+//! Recovery walks records from the front and **stops at the first
+//! damaged one** — short header, impossible length, checksum mismatch,
+//! non-UTF-8 payload — returning the intact prefix plus a typed
+//! [`TornTail`] describing where and why it stopped. A journal torn at
+//! *any* byte therefore replays its prefix byte-identically instead of
+//! failing; the damage is a warning, not an error.
+//!
+//! Durability is a policy knob ([`SyncPolicy`], `--journal-sync`):
+//! `always` fsyncs after every record (maximum durability, one fsync per
+//! command), `batch` fsyncs every [`BATCH_RECORDS`] records and on seal
+//! (the default), `off` never fsyncs (the OS page cache decides — the
+//! pre-WAL behavior, now opt-in).
+//!
+//! Legacy plain-text journals (PR 9 format) remain readable through
+//! [`recover_journal`], including the torn-tail fix: a trailing partial
+//! line (no final newline) is dropped with a warning instead of
+//! poisoning replay.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use venn_core::faultio::{FioError, RealFs, SimFs};
+use venn_core::snapshot::checksum;
+
+/// Leading magic of a WAL journal (`b"VWAL"`).
+pub const WAL_MAGIC: [u8; 4] = *b"VWAL";
+
+/// Current WAL format version; other versions are rejected.
+pub const WAL_VERSION: u32 = 1;
+
+/// Records between fsyncs under [`SyncPolicy::Batch`].
+pub const BATCH_RECORDS: u32 = 64;
+
+/// Upper bound on one record's payload — a corrupt length prefix can
+/// never drive a huge allocation or a bogus multi-gigabyte "record".
+pub const MAX_RECORD: usize = 1 << 24;
+
+/// Per-record header bytes: u32 length + u64 checksum.
+const RECORD_HEADER: usize = 12;
+
+/// A filesystem handle shareable between the session, the journal, and
+/// the driver — single-threaded interior mutability over the [`SimFs`]
+/// boundary so one fault-injection plan governs every durable write a
+/// serve process performs.
+pub type SharedFs = Rc<RefCell<Box<dyn SimFs>>>;
+
+/// The default backend: the real filesystem.
+pub fn real_fs() -> SharedFs {
+    shared_fs(RealFs)
+}
+
+/// Wraps any [`SimFs`] backend (e.g. a scripted `FaultFs<MemFs>`) as a
+/// [`SharedFs`].
+pub fn shared_fs(fs: impl SimFs + 'static) -> SharedFs {
+    Rc::new(RefCell::new(Box::new(fs)))
+}
+
+/// When journal appends reach the platter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// fsync after every record.
+    Always,
+    /// fsync every [`BATCH_RECORDS`] records and on seal (default).
+    #[default]
+    Batch,
+    /// Never fsync; the OS page cache decides.
+    Off,
+}
+
+impl SyncPolicy {
+    /// Parses `always|batch|off`.
+    pub fn parse(name: &str) -> Option<Self> {
+        Some(match name {
+            "always" => SyncPolicy::Always,
+            "batch" => SyncPolicy::Batch,
+            "off" => SyncPolicy::Off,
+            _ => return None,
+        })
+    }
+
+    /// The flag spelling of this policy.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SyncPolicy::Always => "always",
+            SyncPolicy::Batch => "batch",
+            SyncPolicy::Off => "off",
+        }
+    }
+}
+
+/// Where and why journal recovery stopped before the end of the file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset of the first damaged record (or partial line).
+    pub offset: usize,
+    /// Human-readable reason (short header, checksum mismatch...).
+    pub reason: String,
+}
+
+/// Why a journal could not be recognized at all (damage *inside* a
+/// recognized journal is a [`TornTail`], not an error).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The bytes are neither a WAL (`VWAL` magic) nor legacy JSON lines.
+    Unrecognized,
+    /// A WAL header with an unsupported version.
+    BadVersion(u32),
+    /// The journal file could not be read at all.
+    Io(FioError),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Unrecognized => {
+                write!(
+                    f,
+                    "unrecognized journal format (neither VWAL nor JSON lines)"
+                )
+            }
+            JournalError::BadVersion(v) => write!(
+                f,
+                "unsupported WAL journal version {v} (this build reads {WAL_VERSION})"
+            ),
+            JournalError::Io(e) => write!(f, "journal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+/// A recovered journal: the intact prefix plus damage/seal telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Recovered {
+    /// The journal lines, in order, up to the first damage.
+    pub lines: Vec<String>,
+    /// Whether the journal carried a graceful-shutdown seal record.
+    pub sealed: bool,
+    /// The torn tail, if recovery stopped before the end of the file.
+    pub torn: Option<TornTail>,
+    /// Whether the journal was the WAL format (vs legacy text lines).
+    pub wal: bool,
+}
+
+/// The append side: a WAL journal bound to a [`SharedFs`] path.
+pub struct WalWriter {
+    fs: SharedFs,
+    path: String,
+    policy: SyncPolicy,
+    since_sync: u32,
+    sealed: bool,
+}
+
+impl WalWriter {
+    /// Creates (truncating) the journal at `path` and writes the header.
+    pub fn create(fs: SharedFs, path: &str, policy: SyncPolicy) -> Result<Self, FioError> {
+        let mut header = Vec::with_capacity(8);
+        header.extend_from_slice(&WAL_MAGIC);
+        header.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        {
+            let mut f = fs.borrow_mut();
+            f.write(path, &header)?;
+            if policy == SyncPolicy::Always {
+                f.sync(path)?;
+            }
+        }
+        Ok(WalWriter {
+            fs,
+            path: path.to_string(),
+            policy,
+            since_sync: 0,
+            sealed: false,
+        })
+    }
+
+    /// Appends one journal line as a checksummed record, fsyncing per
+    /// the policy. The line must not be empty (an empty record is the
+    /// seal marker).
+    pub fn append(&mut self, line: &str) -> Result<(), FioError> {
+        debug_assert!(!line.is_empty(), "empty journal lines are seal markers");
+        let payload = line.as_bytes();
+        let mut rec = Vec::with_capacity(RECORD_HEADER + payload.len());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&checksum(payload).to_le_bytes());
+        rec.extend_from_slice(payload);
+        let mut f = self.fs.borrow_mut();
+        f.append(&self.path, &rec)?;
+        match self.policy {
+            SyncPolicy::Always => f.sync(&self.path)?,
+            SyncPolicy::Batch => {
+                self.since_sync += 1;
+                if self.since_sync >= BATCH_RECORDS {
+                    f.sync(&self.path)?;
+                    self.since_sync = 0;
+                }
+            }
+            SyncPolicy::Off => {}
+        }
+        Ok(())
+    }
+
+    /// Seals the journal: appends the graceful-shutdown marker record
+    /// and fsyncs (unless the policy is `off`). Idempotent.
+    pub fn seal(&mut self) -> Result<(), FioError> {
+        if self.sealed {
+            return Ok(());
+        }
+        let mut rec = Vec::with_capacity(RECORD_HEADER);
+        rec.extend_from_slice(&0u32.to_le_bytes());
+        rec.extend_from_slice(&checksum(b"").to_le_bytes());
+        let mut f = self.fs.borrow_mut();
+        f.append(&self.path, &rec)?;
+        if self.policy != SyncPolicy::Off {
+            f.sync(&self.path)?;
+        }
+        self.sealed = true;
+        Ok(())
+    }
+}
+
+/// Decodes a WAL journal body (bytes *after* the 8-byte header),
+/// returning the intact record prefix and torn-tail telemetry.
+fn decode_wal_body(body: &[u8], base_offset: usize) -> Recovered {
+    let mut lines = Vec::new();
+    let mut pos = 0usize;
+    let torn = loop {
+        if pos == body.len() {
+            break None; // clean unsealed end (e.g. crash between records)
+        }
+        let off = base_offset + pos;
+        if body.len() - pos < RECORD_HEADER {
+            break Some(TornTail {
+                offset: off,
+                reason: format!(
+                    "{} trailing bytes, record header needs 12",
+                    body.len() - pos
+                ),
+            });
+        }
+        let len = u32::from_le_bytes(body[pos..pos + 4].try_into().unwrap()) as usize;
+        let stored = u64::from_le_bytes(body[pos + 4..pos + 12].try_into().unwrap());
+        if len == 0 {
+            // Seal marker: verify its checksum-of-empty, stop cleanly.
+            if stored == checksum(b"") {
+                return Recovered {
+                    lines,
+                    sealed: true,
+                    torn: None,
+                    wal: true,
+                };
+            }
+            break Some(TornTail {
+                offset: off,
+                reason: "seal record with damaged checksum".into(),
+            });
+        }
+        if len > MAX_RECORD {
+            break Some(TornTail {
+                offset: off,
+                reason: format!("record length {len} exceeds the {MAX_RECORD}-byte bound"),
+            });
+        }
+        if body.len() - pos - RECORD_HEADER < len {
+            break Some(TornTail {
+                offset: off,
+                reason: format!(
+                    "record claims {len} payload bytes, {} remain",
+                    body.len() - pos - RECORD_HEADER
+                ),
+            });
+        }
+        let payload = &body[pos + RECORD_HEADER..pos + RECORD_HEADER + len];
+        if checksum(payload) != stored {
+            break Some(TornTail {
+                offset: off,
+                reason: "record checksum mismatch".into(),
+            });
+        }
+        let Ok(line) = std::str::from_utf8(payload) else {
+            break Some(TornTail {
+                offset: off,
+                reason: "record payload is not UTF-8".into(),
+            });
+        };
+        lines.push(line.to_string());
+        pos += RECORD_HEADER + len;
+    };
+    Recovered {
+        lines,
+        sealed: false,
+        torn,
+        wal: true,
+    }
+}
+
+/// Recovers a legacy plain-text journal: complete lines up to the first
+/// damage; a trailing partial line (torn tail — no final newline, or
+/// invalid UTF-8) is dropped with telemetry instead of failing replay.
+fn decode_legacy(bytes: &[u8]) -> Recovered {
+    let mut lines = Vec::new();
+    let mut pos = 0usize;
+    let mut torn = None;
+    while pos < bytes.len() {
+        match bytes[pos..].iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                let raw = &bytes[pos..pos + nl];
+                match std::str::from_utf8(raw) {
+                    Ok(line) => lines.push(line.to_string()),
+                    Err(_) => {
+                        torn = Some(TornTail {
+                            offset: pos,
+                            reason: "line is not UTF-8".into(),
+                        });
+                        break;
+                    }
+                }
+                pos += nl + 1;
+            }
+            None => {
+                torn = Some(TornTail {
+                    offset: pos,
+                    reason: format!(
+                        "partial final line ({} bytes, no terminating newline)",
+                        bytes.len() - pos
+                    ),
+                });
+                break;
+            }
+        }
+    }
+    Recovered {
+        lines,
+        sealed: false,
+        torn,
+        wal: false,
+    }
+}
+
+/// Recovers a journal of either format from its raw bytes:
+///
+/// * `VWAL` magic → WAL decode (bad version is a typed error);
+/// * leading `{` (or an empty file) → legacy JSON text lines;
+/// * anything else → [`JournalError::Unrecognized`] — damage to the
+///   8-byte WAL header cannot silently demote a WAL to "text".
+pub fn recover_journal(bytes: &[u8]) -> Result<Recovered, JournalError> {
+    if bytes.is_empty() {
+        return Ok(Recovered {
+            lines: Vec::new(),
+            sealed: false,
+            torn: None,
+            wal: false,
+        });
+    }
+    if bytes.len() >= 4 && bytes[..4] == WAL_MAGIC {
+        if bytes.len() < 8 {
+            return Ok(Recovered {
+                lines: Vec::new(),
+                sealed: false,
+                torn: Some(TornTail {
+                    offset: 4,
+                    reason: "WAL header torn before the version word".into(),
+                }),
+                wal: true,
+            });
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != WAL_VERSION {
+            return Err(JournalError::BadVersion(version));
+        }
+        return Ok(decode_wal_body(&bytes[8..], 8));
+    }
+    if bytes[0] == b'{' {
+        return Ok(decode_legacy(bytes));
+    }
+    Err(JournalError::Unrecognized)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use venn_core::faultio::MemFs;
+
+    fn write_journal(lines: &[&str], sealed: bool, policy: SyncPolicy) -> Vec<u8> {
+        let fs = shared_fs(MemFs::new());
+        let mut w = WalWriter::create(fs.clone(), "j.wal", policy).unwrap();
+        for line in lines {
+            w.append(line).unwrap();
+        }
+        if sealed {
+            w.seal().unwrap();
+        }
+        let bytes = fs.borrow_mut().read("j.wal").unwrap();
+        bytes
+    }
+
+    #[test]
+    fn wal_round_trips_and_seals() {
+        let lines = [r#"{"vt":0,"cmd":"stats"}"#, r#"{"vt":9,"cmd":"quit"}"#];
+        let bytes = write_journal(&lines, true, SyncPolicy::Always);
+        let r = recover_journal(&bytes).unwrap();
+        assert_eq!(r.lines, lines);
+        assert!(r.sealed);
+        assert!(r.torn.is_none());
+        assert!(r.wal);
+
+        // Unsealed (e.g. crash between records): clean prefix, no tear.
+        let bytes = write_journal(&lines, false, SyncPolicy::Off);
+        let r = recover_journal(&bytes).unwrap();
+        assert_eq!(r.lines, lines);
+        assert!(!r.sealed);
+        assert!(r.torn.is_none());
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_a_prefix() {
+        let lines = [
+            r#"{"vt":0,"cmd":"subscribe","every_ms":100}"#,
+            r#"{"vt":0,"cmd":"advance","ms":500}"#,
+            r#"{"vt":500,"cmd":"stats"}"#,
+        ];
+        let bytes = write_journal(&lines, true, SyncPolicy::Batch);
+        for cut in 8..bytes.len() {
+            let r = recover_journal(&bytes[..cut]).unwrap();
+            assert!(r.lines.len() <= lines.len(), "cut {cut}");
+            assert_eq!(
+                r.lines[..],
+                lines[..r.lines.len()],
+                "cut {cut}: recovered lines must be the intact prefix"
+            );
+            if !r.sealed && r.torn.is_none() {
+                // A cut exactly on a record boundary: fine, prefix only.
+                continue;
+            }
+        }
+        // Cutting into the header itself is torn-header telemetry.
+        let r = recover_journal(&bytes[..6]).unwrap();
+        assert!(r.lines.is_empty());
+        assert!(r.torn.is_some());
+    }
+
+    #[test]
+    fn a_flipped_bit_stops_at_the_damaged_record() {
+        let lines = [
+            r#"{"vt":0,"cmd":"advance","ms":1}"#,
+            r#"{"vt":1,"cmd":"advance","ms":2}"#,
+            r#"{"vt":3,"cmd":"stats"}"#,
+        ];
+        let bytes = write_journal(&lines, true, SyncPolicy::Batch);
+        // Flip a bit in every byte position past the header; recovery
+        // must always return an intact prefix (never garbage, never a
+        // panic).
+        for pos in 8..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            let r = recover_journal(&bad).unwrap();
+            for (i, line) in r.lines.iter().enumerate() {
+                assert_eq!(line, lines[i], "flip at {pos}: line {i} not intact");
+            }
+        }
+    }
+
+    #[test]
+    fn header_damage_is_a_typed_error_not_text_fallback() {
+        let bytes = write_journal(&[r#"{"vt":0,"cmd":"stats"}"#], true, SyncPolicy::Batch);
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF; // magic damaged, first byte no longer '{' or 'V'
+        assert_eq!(recover_journal(&bad), Err(JournalError::Unrecognized));
+        let mut bad = bytes;
+        bad[4] = 0x7F; // version damaged
+        assert!(matches!(
+            recover_journal(&bad),
+            Err(JournalError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn legacy_journal_with_torn_tail_truncates_with_warning() {
+        let text = "{\"vt\":0,\"cmd\":\"advance\",\"ms\":5}\n{\"vt\":5,\"cmd\":\"sta";
+        let r = recover_journal(text.as_bytes()).unwrap();
+        assert_eq!(r.lines, vec![r#"{"vt":0,"cmd":"advance","ms":5}"#]);
+        assert!(!r.wal);
+        let torn = r.torn.expect("partial line must be reported");
+        assert_eq!(torn.offset, 32);
+
+        // A clean legacy journal has no tear.
+        let text = "{\"vt\":0,\"cmd\":\"quit\"}\n";
+        let r = recover_journal(text.as_bytes()).unwrap();
+        assert_eq!(r.lines.len(), 1);
+        assert!(r.torn.is_none());
+
+        // Empty file: empty journal, no tear.
+        let r = recover_journal(b"").unwrap();
+        assert!(r.lines.is_empty() && r.torn.is_none());
+    }
+
+    #[test]
+    fn batch_policy_syncs_on_the_batch_boundary() {
+        // MemFs sync is a no-op, so drive the policy through a FaultFs
+        // that faults the first sync: `always` hits it on record 1,
+        // `batch` only at the boundary.
+        use venn_core::faultio::{Fault, FaultFs, FaultRule, FioOp, MemFs};
+        let fs = shared_fs(FaultFs::scripted(
+            MemFs::new(),
+            vec![FaultRule::on(FioOp::Sync, "", Fault::Io)],
+        ));
+        let mut w = WalWriter::create(fs, "j.wal", SyncPolicy::Batch).unwrap();
+        for i in 0..BATCH_RECORDS - 1 {
+            w.append(&format!("{{\"n\":{i}}}")).unwrap();
+        }
+        // The BATCH_RECORDS-th append crosses the boundary and syncs.
+        assert!(w.append("{\"n\":63}").is_err());
+    }
+}

@@ -542,8 +542,8 @@ impl EventQueue {
     }
 
     /// Key `(time, seq)` of the earliest pending event without popping it
-    /// — `None` on an empty queue. Both arms agree with what [`pop`]
-    /// (Self::pop) would return next, so a driver can decide whether the
+    /// — `None` on an empty queue. Both arms agree with what
+    /// [`pop`](Self::pop) would return next, so a driver can decide whether the
     /// next event falls inside a virtual-time window before committing to
     /// dispatch it.
     pub fn peek_key(&self) -> Option<(SimTime, u64)> {

@@ -29,6 +29,7 @@
 //! println!("finished {} jobs", result.breakdown().finished());
 //! ```
 
+pub mod checkpoint;
 pub mod cohort;
 pub mod config;
 pub mod device_pool;
@@ -41,6 +42,7 @@ pub mod shard;
 pub mod snapshot;
 pub mod world;
 
+pub use checkpoint::{CheckpointStore, CkptError, ResumeOutcome};
 pub use cohort::CohortSet;
 pub use config::{ExecMode, PopMode, SimConfig};
 pub use device_pool::{DevicePool, DeviceState};

@@ -111,7 +111,7 @@ pub fn resume_world(
 /// its state from the snapshot, a fork gives the new scheduler a *cold*
 /// book and replays into it only what the kernel can prove it must know:
 /// every still-open allocation request, resubmitted with its remaining
-/// demand ([`World::resubmit_open_requests`]). The snapshot's trailing
+/// demand (`World::resubmit_open_requests`). The snapshot's trailing
 /// scheduler-state bytes are deliberately ignored — they are the old
 /// arm's private state and have no meaning to the new one. Supply
 /// observations accumulate naturally as devices poll; schedulers start

@@ -28,8 +28,12 @@ use common::parity::{
 };
 
 use venn::bench::SchedKind;
+use venn::core::faultio::{Fault, FaultFs, FaultRule, FioError, FioOp, MemFs, SimFs};
 use venn::env::EnvPreset;
-use venn::sim::{resume_world, snapshot_world, ExecMode, JobPhase, PopMode, SimConfig, World};
+use venn::sim::{
+    resume_world, snapshot_world, CheckpointStore, CkptError, ExecMode, JobPhase, PopMode,
+    SimConfig, SimResult, World,
+};
 use venn::traces::Workload;
 
 const POP_MODES: [PopMode; 3] = [PopMode::Eager, PopMode::SplitEager, PopMode::Lazy];
@@ -237,6 +241,248 @@ fn truncated_and_bit_flipped_checkpoints_are_rejected() {
             );
         }
     }
+}
+
+/// Result-level zero-drift comparison for checkpoint-store recovery:
+/// the resumed run's final accounting must match the uninterrupted
+/// run's byte for byte. (The full-stream `assert_run_parity` does not
+/// apply here — resume from an *earlier* checkpoint legitimately
+/// re-dispatches the events between the checkpoint and the crash, so
+/// observers outside the world would see that window twice.)
+fn assert_result_parity(a: &SimResult, b: &SimResult, ctx: &str) {
+    assert_eq!(a.records, b.records, "{ctx}: job records");
+    assert_eq!(a.rounds, b.rounds, "{ctx}: round logs");
+    assert_eq!(a.aborted_rounds, b.aborted_rounds, "{ctx}: aborts");
+    assert_eq!(a.assignments, b.assignments, "{ctx}: assignment count");
+    assert_eq!(a.failures, b.failures, "{ctx}: failures");
+    assert_eq!(a.events, b.events, "{ctx}: dispatched events");
+    assert_eq!(a.peak_queue_len, b.peak_queue_len, "{ctx}: peak queue");
+    assert_eq!(a.env, b.env, "{ctx}: env counters");
+}
+
+/// Drives a run over a [`CheckpointStore`], checkpointing every
+/// `every` events, until `crash_at` events have dispatched (the crash)
+/// or the run ends. Checkpoint write errors go to `on_write` so callers
+/// can assert the typed failure they scripted.
+fn run_store_until(
+    sim: SimConfig,
+    workload: &Workload,
+    kind: SchedKind,
+    store: &mut CheckpointStore,
+    every: u64,
+    crash_at: u64,
+    on_write: &mut dyn FnMut(Result<String, CkptError>),
+) {
+    let mut sched = kind.build(sim.seed ^ SCHED_SEED_SALT);
+    let mut world = World::new(sim, workload, sched.name());
+    let mut next = every;
+    while world.events_processed() < crash_at && world.step(&mut *sched, &mut []) {
+        if world.events_processed() >= next {
+            on_write(store.write(&world, &*sched));
+            next = world.events_processed() + every;
+        }
+    }
+    // The crash: world and scheduler drop here; only the store's
+    // backend survives into the "new process".
+}
+
+/// Resumes from whatever the store holds and runs to completion.
+fn resume_store_to_end(
+    sim: SimConfig,
+    workload: &Workload,
+    kind: SchedKind,
+    disk: &mut dyn SimFs,
+    dir: &str,
+) -> (SimResult, Vec<String>) {
+    let mut store = CheckpointStore::open(disk, dir, 2).expect("open store on survivor disk");
+    let mut build = || kind.build(sim.seed ^ SCHED_SEED_SALT);
+    let outcome = store
+        .resume(sim, workload, &mut build)
+        .expect("resume triage must not error");
+    let (mut world, mut sched) = outcome.run.expect("a checkpoint must survive");
+    while world.step(&mut *sched, &mut []) {}
+    (world.finish(&mut []), outcome.warnings)
+}
+
+/// Transient ENOSPC / torn writes during checkpoint publication are
+/// absorbed by retry-with-backoff: every `store.write` still succeeds,
+/// the faults are visible only in the injector's stats, and a crash
+/// later in the run resumes from the (fault-tested) checkpoints with
+/// zero drift.
+#[test]
+fn transient_faults_during_checkpoint_are_absorbed_by_retry() {
+    let sim = experiment(641, EnvPreset::Chaos, PopMode::Eager, ExecMode::Sequential);
+    let workload = contended_workload(sim.seed);
+    let kind = SchedKind::Venn;
+    let whole = observe_kind(sim, &workload, kind);
+    let every = whole.result.events / 6;
+    let crash_at = whole.result.events * 2 / 3;
+
+    // First checkpoint clean; the second hits ENOSPC on attempt one;
+    // a later one hits a torn tmp write. Both retries must succeed.
+    let mut fs = FaultFs::scripted(
+        MemFs::new(),
+        vec![
+            FaultRule::after(FioOp::Write, ".vsnp.tmp", 1, Fault::NoSpace),
+            FaultRule::after(FioOp::Write, ".vsnp.tmp", 1, Fault::Torn { keep: 7 }),
+        ],
+    );
+    {
+        let mut store = CheckpointStore::open(&mut fs, "ckpt", 2).expect("open");
+        run_store_until(
+            sim,
+            &workload,
+            kind,
+            &mut store,
+            every,
+            crash_at,
+            &mut |r| {
+                r.expect("retry must absorb transient checkpoint faults");
+            },
+        );
+    }
+    let (_, injected) = fs.stats();
+    assert_eq!(injected, 2, "both scripted faults must have fired");
+
+    let mut disk = fs.into_inner();
+    let (result, warnings) = resume_store_to_end(sim, &workload, kind, &mut disk, "ckpt");
+    assert!(warnings.is_empty(), "no degraded checkpoints: {warnings:?}");
+    assert_result_parity(&whole.result, &result, "transient-fault checkpoints");
+}
+
+/// Persistent ENOSPC exhausts the retry budget and surfaces as a typed
+/// `CkptError::Io` — and the *previous* checkpoint, published before
+/// the disk filled up, still resumes the run with zero drift.
+#[test]
+fn persistent_enospc_surfaces_typed_and_older_checkpoint_still_resumes() {
+    let sim = experiment(642, EnvPreset::Chaos, PopMode::Lazy, ExecMode::Sequential);
+    let workload = contended_workload(sim.seed);
+    let kind = SchedKind::Srsf;
+    let whole = observe_kind(sim, &workload, kind);
+    let every = whole.result.events / 5;
+    let crash_at = whole.result.events * 3 / 5;
+
+    // Checkpoint 1 clean; checkpoint 2 fails on all four write attempts.
+    let mut fs = FaultFs::scripted(
+        MemFs::new(),
+        vec![
+            FaultRule::after(FioOp::Write, ".vsnp.tmp", 1, Fault::NoSpace),
+            FaultRule::on(FioOp::Write, ".vsnp.tmp", Fault::NoSpace),
+            FaultRule::on(FioOp::Write, ".vsnp.tmp", Fault::NoSpace),
+            FaultRule::on(FioOp::Write, ".vsnp.tmp", Fault::NoSpace),
+        ],
+    );
+    let mut write_errors = Vec::new();
+    {
+        let mut store = CheckpointStore::open(&mut fs, "ckpt", 2).expect("open");
+        run_store_until(
+            sim,
+            &workload,
+            kind,
+            &mut store,
+            every,
+            crash_at,
+            &mut |r| {
+                if let Err(e) = r {
+                    write_errors.push(e);
+                }
+            },
+        );
+    }
+    assert!(
+        write_errors
+            .iter()
+            .any(|e| matches!(e, CkptError::Io(FioError::NoSpace { .. }))),
+        "the exhausted retry must surface as a typed ENOSPC: {write_errors:?}"
+    );
+
+    let mut disk = fs.into_inner();
+    assert!(
+        !disk.list("ckpt").expect("list").is_empty(),
+        "checkpoint 1 must have survived the full disk"
+    );
+    let (result, _) = resume_store_to_end(sim, &workload, kind, &mut disk, "ckpt");
+    assert_result_parity(&whole.result, &result, "persistent-ENOSPC fallback");
+}
+
+/// A crash *before the rename* that publishes a checkpoint strands a
+/// `.tmp` file and nothing else: startup hygiene removes it (logging
+/// the name), listing never shows it, and resume falls back to the
+/// previous published checkpoint with zero drift.
+#[test]
+fn crash_before_rename_strands_tmp_and_resume_falls_back() {
+    let sim = experiment(
+        643,
+        EnvPreset::Off,
+        PopMode::SplitEager,
+        ExecMode::Sequential,
+    );
+    let workload = contended_workload(sim.seed);
+    let kind = SchedKind::Venn;
+    let whole = observe_kind(sim, &workload, kind);
+    let every = whole.result.events / 5;
+
+    // Checkpoint 1 publishes; checkpoint 2 crashes between the tmp
+    // write and the rename — exactly the window atomic publish protects.
+    let mut fs = FaultFs::scripted(
+        MemFs::new(),
+        vec![FaultRule::after(
+            FioOp::Rename,
+            ".vsnp",
+            1,
+            Fault::CrashBefore,
+        )],
+    );
+    let mut write_errors = Vec::new();
+    {
+        let mut store = CheckpointStore::open(&mut fs, "ckpt", 2).expect("open");
+        run_store_until(
+            sim,
+            &workload,
+            kind,
+            &mut store,
+            every,
+            u64::MAX,
+            &mut |r| {
+                if let Err(e) = r {
+                    write_errors.push(e);
+                }
+            },
+        );
+    }
+    assert!(fs.is_crashed(), "the scripted crash must have fired");
+    assert!(
+        write_errors
+            .iter()
+            .all(|e| matches!(e, CkptError::Io(FioError::Crashed))),
+        "post-crash writes surface as typed Crashed errors: {write_errors:?}"
+    );
+
+    // The "reboot": inspect the survivor disk directly.
+    let mut disk = fs.into_inner();
+    let names = disk.list("ckpt").expect("list");
+    assert!(
+        names.iter().any(|n| n.ends_with(".vsnp.tmp")),
+        "the crash must strand a tmp file: {names:?}"
+    );
+    {
+        let mut store = CheckpointStore::open(&mut disk, "ckpt", 2).expect("open");
+        let removed = store.clean_stale_tmp().expect("hygiene scan");
+        assert_eq!(removed.len(), 1, "exactly the stranded tmp: {removed:?}");
+        assert!(removed[0].starts_with("ckpt-") && removed[0].ends_with(".vsnp.tmp"));
+        let listed = store.list().expect("list");
+        assert_eq!(listed.len(), 1, "only checkpoint 1 is published");
+    }
+    assert!(
+        !disk
+            .list("ckpt")
+            .expect("list")
+            .iter()
+            .any(|n| n.ends_with(".tmp")),
+        "hygiene must actually remove the tmp file"
+    );
+    let (result, _) = resume_store_to_end(sim, &workload, kind, &mut disk, "ckpt");
+    assert_result_parity(&whole.result, &result, "crash-before-rename fallback");
 }
 
 /// A snapshot taken under one run identity must not resume another:
